@@ -1,0 +1,52 @@
+"""Fig. 8: effective bandwidth versus message size.
+
+Regenerates the AllReduce bandwidth curves on the 4x RTX 4090 (PCIe) and
+4x A800 (NVLink) servers and checks the two properties the design relies on:
+a sharp degradation below a knee (which is why tile-by-tile communication is
+hopeless) and saturation for large messages.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.comm.primitives import CollectiveKind, CollectiveModel
+from repro.comm.topology import a800_nvlink, rtx4090_pcie
+
+from conftest import run_once
+
+SIZES_MB = [0.1875, 0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+
+
+def collect_curves():
+    curves = {}
+    for name, topology in (("4x RTX 4090 (PCIe)", rtx4090_pcie(4)), ("4x A800 (NVLink)", a800_nvlink(4))):
+        model = CollectiveModel(CollectiveKind.ALL_REDUCE, topology)
+        curves[name] = np.array(
+            [model.bus_bandwidth(mb * 1024 * 1024) / 1e9 for mb in SIZES_MB]
+        )
+    return curves
+
+
+def test_fig08_bandwidth_curves(benchmark, save_report):
+    curves = run_once(benchmark, collect_curves)
+
+    rows = [
+        [f"{mb:g} MB"] + [f"{curves[name][i]:.2f}" for name in curves]
+        for i, mb in enumerate(SIZES_MB)
+    ]
+    report = format_table(
+        ["message size", *curves.keys()],
+        rows,
+        title="Fig. 8 -- AllReduce bus bandwidth (GB/s) vs per-GPU data size",
+    )
+    save_report("fig08_bandwidth_curve", report)
+
+    for name, series in curves.items():
+        # Monotone rise to saturation.
+        assert np.all(np.diff(series) >= -1e-9), name
+        # The 192 KB tile message achieves a small fraction of peak (paper: ~13%).
+        assert series[0] / series[-1] < 0.35, name
+        # Large messages come close to the peak bus bandwidth.
+        assert series[-1] / series.max() > 0.95, name
+    # NVLink is roughly an order of magnitude faster than PCIe at saturation.
+    assert curves["4x A800 (NVLink)"][-1] > 5 * curves["4x RTX 4090 (PCIe)"][-1]

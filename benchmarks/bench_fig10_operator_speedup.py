@@ -1,0 +1,73 @@
+"""Fig. 10: operator-level average speedups per primitive / server / GPU count.
+
+For every combination of collective primitive (AR, RS, A2A), server type
+(A800-NVLink, RTX4090-PCIe) and GPU count (2, 4, 8), sweep the Table 3 shape
+suite and report the mean/min/max speedup of FlashOverlap and the supported
+baselines, normalised to the non-overlap execution -- the same bars (with
+whiskers) as Fig. 10.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.analysis.speedup import shape_survey, summarize_speedups
+from repro.comm.primitives import CollectiveKind
+from repro.comm.topology import a800_nvlink, rtx4090_pcie
+from repro.core.config import OverlapProblem
+from repro.gpu.device import A800, RTX_4090
+from repro.workloads.shapes import operator_suite
+
+from conftest import run_once
+
+SERVERS = {
+    "a800": (A800, a800_nvlink),
+    "rtx4090": (RTX_4090, rtx4090_pcie),
+}
+PRIMITIVES = (CollectiveKind.ALL_REDUCE, CollectiveKind.REDUCE_SCATTER, CollectiveKind.ALL_TO_ALL)
+GPU_COUNTS = (2, 4, 8)
+
+
+def survey(family, collective, n_gpus, settings):
+    device, topo_builder = SERVERS[family]
+    topology = topo_builder(n_gpus)
+    suite = operator_suite(collective, family, mn_points=4, k_points=3)
+
+    def build(shape):
+        return OverlapProblem(shape=shape, device=device, topology=topology, collective=collective)
+
+    comparisons = shape_survey(suite, build, settings=settings)
+    return summarize_speedups(comparisons)
+
+
+@pytest.mark.parametrize("family", ["a800", "rtx4090"])
+@pytest.mark.parametrize("collective", PRIMITIVES, ids=lambda c: c.short_name)
+def test_fig10_operator_speedup(benchmark, save_report, fast_settings, family, collective):
+    def collect():
+        return {n: survey(family, collective, n, fast_settings) for n in GPU_COUNTS}
+
+    per_gpu_count = run_once(benchmark, collect)
+
+    methods = sorted({m for summary in per_gpu_count.values() for m in summary})
+    rows = []
+    for n, summary in per_gpu_count.items():
+        for method in methods:
+            if method not in summary:
+                continue
+            stats = summary[method]
+            rows.append([f"{n} GPUs", method, stats["mean"], stats["min"], stats["max"]])
+    report = format_table(
+        ["config", "method", "mean speedup", "min", "max"],
+        rows,
+        title=f"Fig. 10 -- GEMM+{collective.short_name} on {family}",
+    )
+    save_report(f"fig10_{collective.short_name.lower()}_{family}", report)
+
+    for n, summary in per_gpu_count.items():
+        flash = summary["flashoverlap"]
+        # FlashOverlap always helps on average and never collapses below ~1.
+        assert flash["mean"] > 1.02, (family, collective, n)
+        assert flash["min"] > 0.95, (family, collective, n)
+        assert flash["max"] < 1.80, (family, collective, n)
+        # It beats the decomposition baseline on average (Fig. 10).
+        vanilla = summary["vanilla-decomposition"]
+        assert flash["mean"] > vanilla["mean"] * 0.99, (family, collective, n)

@@ -1,0 +1,66 @@
+"""Fig. 13: speedup heatmaps and ratio-of-theoretical heatmaps.
+
+Sweeps the (M x N, K) grid of Fig. 13 on both servers:
+
+* RTX 4090 (PCIe), GEMM+RS with TP=2 -- panel (a)/(c);
+* A800 (NVLink), GEMM+AR with TP=4 -- panel (b)/(d);
+
+and checks the qualitative shape of the paper's heatmaps: every cell speeds
+up, the achieved-over-theoretical ratio is high (mostly > 0.8), and on the
+A800 the speedup grows as K shrinks (communication share rises).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_heatmap
+from repro.analysis.speedup import speedup_heatmap
+from repro.comm.primitives import CollectiveKind
+from repro.comm.topology import a800_nvlink, rtx4090_pcie
+from repro.core.config import OverlapProblem
+from repro.gpu.device import A800, RTX_4090
+from repro.workloads.shapes import fig13_grid, fig13_shape
+
+from conftest import run_once
+
+CONFIGS = {
+    "rtx4090": dict(device=RTX_4090, topology=rtx4090_pcie(2), collective=CollectiveKind.REDUCE_SCATTER),
+    "a800": dict(device=A800, topology=a800_nvlink(4), collective=CollectiveKind.ALL_REDUCE),
+}
+
+
+@pytest.mark.parametrize("family", ["rtx4090", "a800"])
+def test_fig13_heatmap(benchmark, save_report, fast_settings, family):
+    config = CONFIGS[family]
+    mn_values, k_values = fig13_grid(family)
+    # Sub-sample the grid to keep the bench fast while preserving the trends.
+    mn_values = mn_values[::2]
+    k_values = k_values[::2]
+
+    def builder(mn_mega, k_kilo):
+        return OverlapProblem(shape=fig13_shape(mn_mega, k_kilo), **config)
+
+    result = run_once(
+        benchmark, lambda: speedup_heatmap(mn_values, k_values, builder, settings=fast_settings)
+    )
+
+    speedup_text = format_heatmap(
+        result.speedup, [f"K={k}k" for k in k_values], [f"{mn}Mi" for mn in mn_values],
+        corner="", title=f"Fig. 13 -- overlap speedup on {family}",
+    )
+    ratio_text = format_heatmap(
+        result.theoretical_ratio, [f"K={k}k" for k in k_values], [f"{mn}Mi" for mn in mn_values],
+        corner="", title=f"Fig. 13 -- ratio of theoretical speedup on {family}",
+    )
+    save_report(f"fig13_heatmap_{family}", speedup_text + "\n\n" + ratio_text)
+
+    assert np.all(result.speedup > 1.0)
+    assert np.all(result.speedup < 1.8)
+    assert np.all(result.theoretical_ratio > 0.65)
+    assert result.mean_theoretical_ratio() > 0.80
+
+    if family == "a800":
+        # High NVLink bandwidth: smaller K (more communication-heavy) gains more.
+        assert result.speedup[0].mean() > result.speedup[-1].mean()
+        # Larger outputs utilise bandwidth better: the ratio improves with M x N.
+        assert result.theoretical_ratio[:, -1].mean() >= result.theoretical_ratio[:, 0].mean() - 0.05

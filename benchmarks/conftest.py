@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it collects the
+data through the library's public API inside the timed callable, then renders
+the same rows/series the paper reports and stores them under
+``benchmarks/output/`` (and echoes them to stdout, visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def save_report(report_dir):
+    """Write a rendered report to ``benchmarks/output/<name>.txt`` and stdout."""
+
+    def _save(name: str, text: str) -> Path:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n=== {name} ===\n{text}\n")
+        return path
+
+    return _save
+
+
+@pytest.fixture
+def fast_settings():
+    from repro.core.config import OverlapSettings
+
+    return OverlapSettings(executor_jitter=0.0, bandwidth_profile_noise=0.0)
+
+
+def run_once(benchmark, fn):
+    """Run a heavy data-collection routine exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Llama3-70B tensor-parallel inference: where the communication time goes and
+what overlapping buys end to end.
+
+Reproduces, for one decoder layer under TP=8 on simulated A800 GPUs:
+
+* the Fig. 4-style latency-share breakdown (how much of the time is
+  "GEMM followed by AllReduce"),
+* the per-operator speedups of the two row-parallel projections,
+* the end-to-end speedup of the layer, compared against the vanilla
+  decomposition baseline.
+
+Run with:  python examples/llm_inference_tp.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdown import breakdown_fractions
+from repro.analysis.reporting import format_table
+from repro.core.baselines import VanillaDecompositionBaseline
+from repro.workloads.e2e import llama3_inference_workload
+
+
+def main() -> None:
+    workload = llama3_inference_workload(chunk_size=16384, layers=1)
+    print(f"workload: {workload.name} (one decoder layer, chunked prefill of 16384 tokens)\n")
+
+    shares = breakdown_fractions(workload)
+    rows = [[pattern, f"{share * 100:.1f}%"] for pattern, share in shares.items()]
+    print(format_table(["pattern", "share of layer latency"], rows,
+                       title="Latency breakdown (non-overlapped execution)"))
+
+    print()
+    operator_rows = []
+    for name, speedup in workload.operator_speedups().items():
+        operator_rows.append([name, f"{speedup:.3f}x"])
+    print(format_table(["overlapped operator", "speedup"], operator_rows,
+                       title="Per-operator speedups with FlashOverlap"))
+
+    flash = workload.speedup("flashoverlap")
+    vanilla = workload.speedup(VanillaDecompositionBaseline())
+    print()
+    print(f"end-to-end layer speedup, FlashOverlap          : {flash:.3f}x")
+    print(f"end-to-end layer speedup, vanilla decomposition : {vanilla:.3f}x")
+    print(f"time spent in GEMM+collective pairs             : "
+          f"{workload.overlap_target_fraction() * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

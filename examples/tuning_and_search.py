@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Inside the tuner: design space, predictive search and the shape cache.
+
+Shows what the real-time tuning stage of FlashOverlap does for one GEMM+RS
+operator on simulated A800 GPUs:
+
+* how large the raw wave-grouping design space is and what the pruning keeps,
+* how well the latency predictor tracks the (simulated) ground truth,
+* that the predictive search matches the exhaustive search,
+* how the nearest-neighbour shape cache avoids re-tuning similar shapes.
+
+Run with:  python examples/tuning_and_search.py
+"""
+
+from __future__ import annotations
+
+from repro import A800, CollectiveKind, GemmShape, OverlapProblem, WavePartition, a800_nvlink
+from repro.analysis.reporting import format_table
+from repro.core.executor import OverlapExecutor
+from repro.core.predictor import LatencyPredictor, OfflineProfile
+from repro.core.tuner import ExhaustiveTuner, GemmShapeCache, PredictiveTuner
+from repro.core.wave_grouping import design_space_size
+
+
+def main() -> None:
+    problem = OverlapProblem(
+        shape=GemmShape(m=16384, n=8192, k=2048),
+        device=A800,
+        topology=a800_nvlink(4),
+        collective=CollectiveKind.REDUCE_SCATTER,
+    )
+    executor = OverlapExecutor(problem)
+    waves = executor.num_waves()
+    print(f"problem      : {problem.describe()}")
+    print(f"waves        : {waves}")
+    print(f"design space : 2^(T-1) = {design_space_size(min(waves, 60)):,} partitions\n")
+
+    # Predictor vs ground truth for a few equal-size groupings.
+    profile = OfflineProfile.build(problem)
+    predictor = LatencyPredictor(profile, total_bytes=problem.output_bytes())
+    rows = []
+    for group in (1, 2, 4, 8, 16):
+        partition = WavePartition.equal_groups(waves, group)
+        predicted = predictor.predict(partition) * 1e3
+        actual = executor.simulate(partition).latency * 1e3
+        rows.append([f"equal groups of {group}", f"{predicted:.3f}", f"{actual:.3f}",
+                     f"{abs(actual - predicted) / actual * 100:.2f}%"])
+    print(format_table(["partition", "predicted (ms)", "simulated (ms)", "error"], rows,
+                       title="Latency predictor vs simulation"))
+
+    # Predictive search vs exhaustive search over the same candidate family.
+    predictive = PredictiveTuner().tune(problem)
+    exhaustive = ExhaustiveTuner().tune(problem, executor)
+    predictive_actual = executor.simulate(predictive.partition).latency * 1e3
+    exhaustive_actual = executor.simulate(exhaustive.partition).latency * 1e3
+    print()
+    print(f"predictive search : {predictive.partition}  -> {predictive_actual:.3f} ms "
+          f"({predictive.candidates_evaluated} candidates, predictor only)")
+    print(f"exhaustive search : {exhaustive.partition}  -> {exhaustive_actual:.3f} ms "
+          f"({exhaustive.candidates_evaluated} candidates, fully simulated)")
+    print(f"predictive reaches {exhaustive_actual / predictive_actual * 100:.2f}% "
+          f"of the exhaustive search's performance\n")
+
+    # Shape cache: nearby shapes reuse the tuned partition.
+    cache = GemmShapeCache()
+    tuner = PredictiveTuner()
+    cache.lookup_or_tune(problem, tuner)
+    nearby = problem.with_shape(GemmShape(m=16384, n=8192, k=2304))
+    reused = cache.lookup_or_tune(nearby, tuner)
+    print(f"shape cache: {len(cache)} entr{'y' if len(cache) == 1 else 'ies'} after tuning "
+          f"{problem.shape} and looking up {nearby.shape}")
+    print(f"reused partition for the nearby shape: {reused.partition}")
+
+
+if __name__ == "__main__":
+    main()

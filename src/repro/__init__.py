@@ -1,0 +1,86 @@
+"""FlashOverlap reproduction: computation/communication overlap via signaling
+and reordering, on a simulated multi-GPU substrate.
+
+The package mirrors the paper's structure:
+
+* :mod:`repro.gpu` -- GEMM wave/tile execution model and device presets,
+* :mod:`repro.comm` -- NCCL-like collectives (functional + latency models),
+* :mod:`repro.sim` -- event/timeline simulation of two-stream execution,
+* :mod:`repro.tensor` -- tile layouts and mapping tables,
+* :mod:`repro.core` -- the FlashOverlap design (signaling, reordering, wave
+  grouping, predictive tuning) and the baselines it is compared against,
+* :mod:`repro.workloads` -- GEMM shape suites and model-level workloads,
+* :mod:`repro.analysis` -- speedup/heatmap/breakdown reporting helpers.
+
+Quickstart::
+
+    from repro import (
+        FlashOverlapOperator, OverlapProblem, GemmShape,
+        RTX_4090, rtx4090_pcie, CollectiveKind,
+    )
+
+    problem = OverlapProblem(
+        shape=GemmShape(m=4096, n=8192, k=7168),
+        device=RTX_4090,
+        topology=rtx4090_pcie(4),
+        collective=CollectiveKind.ALL_REDUCE,
+    )
+    op = FlashOverlapOperator(problem)
+    print(op.report().speedup)
+"""
+
+from repro.comm import (
+    CollectiveKind,
+    CollectiveModel,
+    Topology,
+    a800_nvlink,
+    ascend_hccs,
+    rtx4090_pcie,
+)
+from repro.core import (
+    DEFAULT_SETTINGS,
+    FlashOverlapOperator,
+    OverlapPlan,
+    OverlapProblem,
+    OverlapSettings,
+    SpeedupReport,
+    WavePartition,
+)
+from repro.gpu import (
+    A800,
+    ASCEND_910B,
+    RTX_4090,
+    GemmKernelModel,
+    GemmShape,
+    GemmTileConfig,
+    GPUSpec,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "FlashOverlapOperator",
+    "OverlapProblem",
+    "OverlapSettings",
+    "OverlapPlan",
+    "SpeedupReport",
+    "WavePartition",
+    "DEFAULT_SETTINGS",
+    # gpu
+    "GPUSpec",
+    "GemmShape",
+    "GemmTileConfig",
+    "GemmKernelModel",
+    "RTX_4090",
+    "A800",
+    "ASCEND_910B",
+    # comm
+    "CollectiveKind",
+    "CollectiveModel",
+    "Topology",
+    "rtx4090_pcie",
+    "a800_nvlink",
+    "ascend_hccs",
+]

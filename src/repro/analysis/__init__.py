@@ -1,0 +1,23 @@
+"""Analysis helpers: speedup surveys, heatmaps, breakdowns and text reports."""
+
+from repro.analysis.reporting import format_heatmap, format_markdown_table, format_table
+from repro.analysis.speedup import (
+    HeatmapResult,
+    OperatorComparison,
+    compare_methods,
+    speedup_heatmap,
+    summarize_speedups,
+)
+from repro.analysis.breakdown import latency_breakdown_table
+
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "format_heatmap",
+    "OperatorComparison",
+    "compare_methods",
+    "summarize_speedups",
+    "HeatmapResult",
+    "speedup_heatmap",
+    "latency_breakdown_table",
+]

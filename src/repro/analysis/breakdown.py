@@ -1,0 +1,29 @@
+"""Latency-share breakdowns of end-to-end workloads (paper Fig. 4)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.analysis.reporting import format_table
+from repro.workloads.operators import EndToEndWorkload
+
+#: Column order of the Fig. 4 breakdown.
+PATTERNS = ("GEMM+AR", "GEMM+RS", "GEMM+A2A", "others")
+
+
+def latency_breakdown_table(workloads: Iterable[EndToEndWorkload]) -> str:
+    """Render the per-workload latency shares as a text table."""
+    rows = []
+    for workload in workloads:
+        shares = workload.breakdown()
+        rows.append(
+            [workload.name]
+            + [f"{shares.get(pattern, 0.0) * 100:.1f}%" for pattern in PATTERNS]
+        )
+    return format_table(["workload", *PATTERNS], rows, title="GEMM + collective latency share")
+
+
+def breakdown_fractions(workload: EndToEndWorkload) -> dict[str, float]:
+    """The Fig. 4 fractions of one workload, with every pattern present."""
+    shares = workload.breakdown()
+    return {pattern: shares.get(pattern, 0.0) for pattern in PATTERNS}

@@ -1,0 +1,68 @@
+"""Plain-text / markdown rendering of result tables and heatmaps.
+
+The benchmarks print the same rows and series the paper reports; these helpers
+keep that formatting in one place so every bench produces consistent output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def _format_cell(value, precision: int = 3) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], precision: int = 3, title: str | None = None
+) -> str:
+    """Fixed-width text table."""
+    str_rows = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in str_rows)) if str_rows else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Sequence[Sequence], precision: int = 3) -> str:
+    """GitHub-flavoured markdown table."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_format_cell(cell, precision) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def format_heatmap(
+    grid: np.ndarray,
+    row_labels: Sequence,
+    col_labels: Sequence,
+    precision: int = 2,
+    corner: str = "",
+    title: str | None = None,
+) -> str:
+    """Render a 2-D array with row/column labels (Fig. 13-style heatmap)."""
+    grid = np.asarray(grid, dtype=np.float64)
+    if grid.shape != (len(row_labels), len(col_labels)):
+        raise ValueError(
+            f"grid shape {grid.shape} does not match labels "
+            f"({len(row_labels)}, {len(col_labels)})"
+        )
+    headers = [corner] + [str(c) for c in col_labels]
+    rows = []
+    for label, row in zip(row_labels, grid):
+        rows.append([str(label)] + [f"{v:.{precision}f}" for v in row])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,186 @@
+"""Command-line interface: tune, report and verify overlap problems.
+
+A thin front end over :class:`~repro.core.overlap.FlashOverlapOperator` so the
+library can be exercised without writing Python::
+
+    repro-overlap report  --m 4096 --n 8192 --k 7168 --device rtx4090 \
+                          --topology rtx4090-pcie --gpus 4 --collective allreduce
+    repro-overlap tune    --m 16384 --n 8192 --k 2048 --device a800 \
+                          --topology a800-nvlink --gpus 4 --collective reducescatter
+    repro-overlap verify  --collective alltoall --gpus 4
+    repro-overlap compare --m 16384 --n 8192 --k 4096 --device a800 \
+                          --topology a800-nvlink --gpus 8 --collective reducescatter
+
+Sub-commands:
+
+* ``report``  -- tune, simulate and print the speedup report of one problem;
+* ``tune``    -- print the tuned wave-group partition (optionally persist it
+  into a JSON shape cache with ``--cache``);
+* ``compare`` -- compare FlashOverlap against every supported baseline;
+* ``verify``  -- run the NumPy correctness pipeline on a small instance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.comm.primitives import CollectiveKind
+from repro.comm.topology import known_topologies
+from repro.core.config import OverlapProblem, OverlapSettings
+from repro.core.overlap import FlashOverlapOperator
+from repro.core.tuner import GemmShapeCache, PredictiveTuner
+from repro.gpu.device import device_by_name, known_devices
+from repro.gpu.gemm import GemmShape, GemmTileConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-overlap",
+        description="FlashOverlap reproduction: tune and evaluate GEMM + collective overlap",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_problem_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--m", type=int, default=4096, help="GEMM M (rows of the output)")
+        p.add_argument("--n", type=int, default=8192, help="GEMM N (columns of the output)")
+        p.add_argument("--k", type=int, default=7168, help="GEMM K (accumulation depth)")
+        p.add_argument("--device", default="rtx4090", choices=sorted(known_devices()),
+                       help="simulated accelerator")
+        p.add_argument("--topology", default="rtx4090-pcie", choices=sorted(known_topologies()),
+                       help="simulated server / interconnect")
+        p.add_argument("--gpus", type=int, default=4, help="number of GPUs in the collective")
+        p.add_argument("--collective", default="allreduce",
+                       choices=["allreduce", "reducescatter", "alltoall"],
+                       help="collective following the GEMM")
+        p.add_argument("--imbalance", type=float, default=1.0,
+                       help="per-GPU workload skew (>= 1.0, for expert parallelism)")
+        p.add_argument("--seed", type=int, default=0, help="seed of the stochastic model terms")
+
+    report = sub.add_parser("report", help="tune, simulate and print the speedup report")
+    add_problem_arguments(report)
+
+    tune = sub.add_parser("tune", help="print the tuned wave-group partition")
+    add_problem_arguments(tune)
+    tune.add_argument("--cache", type=str, default=None,
+                      help="JSON shape-cache file to read/update with the tuned result")
+
+    compare = sub.add_parser("compare", help="compare FlashOverlap against the baselines")
+    add_problem_arguments(compare)
+
+    verify = sub.add_parser("verify", help="run the NumPy correctness pipeline (small instance)")
+    verify.add_argument("--collective", default="allreduce",
+                        choices=["allreduce", "reducescatter", "alltoall"])
+    verify.add_argument("--gpus", type=int, default=4)
+    verify.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _problem_from_args(args: argparse.Namespace) -> OverlapProblem:
+    topology = known_topologies()[args.topology].with_n_gpus(args.gpus)
+    return OverlapProblem(
+        shape=GemmShape(m=args.m, n=args.n, k=args.k),
+        device=device_by_name(args.device),
+        topology=topology,
+        collective=CollectiveKind.from_name(args.collective),
+        imbalance=args.imbalance,
+    )
+
+
+def _settings_from_args(args: argparse.Namespace) -> OverlapSettings:
+    return OverlapSettings(seed=args.seed)
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    problem = _problem_from_args(args)
+    operator = FlashOverlapOperator(problem, _settings_from_args(args))
+    plan = operator.plan()
+    report = operator.report()
+    print(f"problem           : {problem.describe()}")
+    print(f"waves             : {plan.partition.num_waves}")
+    print(f"tuned partition   : {plan.partition}")
+    print(f"mode              : {'overlap' if plan.use_overlap else 'sequential fallback'}")
+    print(f"non-overlap       : {report.non_overlap_latency * 1e3:.3f} ms")
+    print(f"FlashOverlap      : {report.overlap_latency * 1e3:.3f} ms")
+    print(f"theoretical bound : {report.theoretical_latency * 1e3:.3f} ms")
+    print(f"speedup           : {report.speedup:.3f}x "
+          f"({report.ratio_of_theoretical * 100:.1f}% of theoretical)")
+    return 0
+
+
+def _command_tune(args: argparse.Namespace) -> int:
+    problem = _problem_from_args(args)
+    settings = _settings_from_args(args)
+    tuner = PredictiveTuner(settings)
+    if args.cache:
+        from pathlib import Path
+
+        cache = GemmShapeCache.load(args.cache) if Path(args.cache).exists() else GemmShapeCache()
+        result = cache.lookup_or_tune(problem, tuner)
+        cache.save(args.cache)
+        print(f"cache             : {args.cache} ({len(cache)} entries)")
+    else:
+        result = tuner.tune(problem)
+    print(f"problem           : {problem.describe()}")
+    print(f"partition         : {result.partition}")
+    print(f"predicted latency : {result.predicted_latency * 1e3:.3f} ms")
+    print(f"candidates        : {result.candidates_evaluated}")
+    print(f"mode              : {'overlap' if result.use_overlap else 'sequential fallback'}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.speedup import compare_methods
+
+    problem = _problem_from_args(args)
+    comparison = compare_methods(problem, settings=_settings_from_args(args))
+    print(f"problem: {problem.describe()}")
+    width = max(len(name) for name in comparison.speedups)
+    for name, speedup in sorted(comparison.speedups.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:<{width}} : {speedup:.3f}x")
+    print(f"best method: {comparison.best_method()}")
+    return 0
+
+
+def _command_verify(args: argparse.Namespace) -> int:
+    from repro.comm.topology import InterconnectKind, Topology
+    from repro.gpu.device import GPUSpec
+
+    device = GPUSpec(name="tiny-gpu", sm_count=8, fp16_tflops=4.0, hbm_bandwidth_gbps=200.0)
+    topology = Topology(
+        name="tiny", n_gpus=args.gpus, kind=InterconnectKind.PCIE,
+        peak_bus_bandwidth_gbps=10.0, base_latency_us=20.0, half_saturation_mb=0.5,
+        comm_sm_count=2, supports_p2p=False,
+    )
+    problem = OverlapProblem(
+        shape=GemmShape(m=64, n=48, k=32),
+        device=device,
+        topology=topology,
+        collective=CollectiveKind.from_name(args.collective),
+        gemm_config=GemmTileConfig(tile_m=8, tile_n=8, tile_k=8, swizzle_size=2),
+    )
+    operator = FlashOverlapOperator(problem, OverlapSettings(seed=args.seed))
+    result = operator.run_numeric()
+    status = "all close" if result.allclose() else "MISMATCH"
+    print(f"{problem.collective.short_name} on {args.gpus} simulated GPUs: {status} "
+          f"(max |error| = {result.max_abs_error():.3e})")
+    return 0 if result.allclose() else 1
+
+
+_COMMANDS = {
+    "report": _command_report,
+    "tune": _command_tune,
+    "compare": _command_compare,
+    "verify": _command_verify,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-overlap`` console script."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Size-dependent effective-bandwidth curves (paper Fig. 8).
+
+Collectives only reach the interconnect's peak bandwidth for large messages;
+below a topology-dependent threshold the per-call setup cost dominates and the
+effective bandwidth collapses.  FlashOverlap's tuner relies on this curve in
+two ways: the *simulator* uses the analytic curve directly, while the
+*predictive search* uses a curve sampled offline at a handful of message sizes
+and interpolated (Alg. 1, line 5 / line 14), exactly as the real system
+samples NCCL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.topology import Topology
+
+
+@dataclass(frozen=True)
+class AnalyticBandwidthCurve:
+    """Closed-form effective-bandwidth model.
+
+    ``bandwidth(s) = peak * s / (s + s_half)`` where ``s_half`` is the
+    half-saturation message size.  The corresponding transfer latency,
+    ``s / bandwidth(s) = (s + s_half) / peak``, is affine in the message size,
+    which matches the usual alpha-beta model of collectives while exposing the
+    sharp bandwidth degradation below the knee that Fig. 8 shows.
+    """
+
+    peak_bandwidth_bytes: float
+    half_saturation_bytes: float
+
+    @classmethod
+    def for_topology(cls, topology: Topology) -> "AnalyticBandwidthCurve":
+        return cls(
+            peak_bandwidth_bytes=topology.peak_bus_bandwidth_bytes,
+            half_saturation_bytes=topology.half_saturation_bytes,
+        )
+
+    def bandwidth(self, nbytes: float) -> float:
+        """Effective bandwidth (bytes/s) for a message of ``nbytes``."""
+        if nbytes <= 0:
+            return 0.0
+        return self.peak_bandwidth_bytes * nbytes / (nbytes + self.half_saturation_bytes)
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Pure transfer time of ``nbytes`` (seconds), excluding base latency."""
+        if nbytes <= 0:
+            return 0.0
+        return nbytes / self.bandwidth(nbytes)
+
+    def utilization(self, nbytes: float) -> float:
+        """Fraction of peak bandwidth achieved at this message size."""
+        if nbytes <= 0:
+            return 0.0
+        return self.bandwidth(nbytes) / self.peak_bandwidth_bytes
+
+    def knee_bytes(self, target_utilization: float = 0.8) -> float:
+        """Message size required to reach ``target_utilization`` of peak."""
+        if not 0 < target_utilization < 1:
+            raise ValueError("target_utilization must be in (0, 1)")
+        return self.half_saturation_bytes * target_utilization / (1 - target_utilization)
+
+
+@dataclass(frozen=True)
+class SampledBandwidthCurve:
+    """Bandwidth curve sampled at discrete message sizes (offline profiling).
+
+    The predictive tuner never queries the analytic model directly -- it
+    interpolates between sampled points, like the real system interpolates
+    between profiled NCCL measurements.  Interpolation is linear in
+    *transfer time* versus size, which is exact for the affine latency model
+    between sample points.
+    """
+
+    sizes_bytes: np.ndarray
+    bandwidths_bytes: np.ndarray
+
+    def __post_init__(self) -> None:
+        sizes = np.asarray(self.sizes_bytes, dtype=np.float64)
+        bws = np.asarray(self.bandwidths_bytes, dtype=np.float64)
+        if sizes.ndim != 1 or bws.ndim != 1 or sizes.size != bws.size:
+            raise ValueError("sizes and bandwidths must be 1-D arrays of equal length")
+        if sizes.size < 2:
+            raise ValueError("need at least two sample points")
+        if np.any(np.diff(sizes) <= 0):
+            raise ValueError("sample sizes must be strictly increasing")
+        if np.any(bws <= 0):
+            raise ValueError("sampled bandwidths must be positive")
+        object.__setattr__(self, "sizes_bytes", sizes)
+        object.__setattr__(self, "bandwidths_bytes", bws)
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.sizes_bytes.size)
+
+    def bandwidth(self, nbytes: float) -> float:
+        """Interpolated effective bandwidth at ``nbytes``."""
+        if nbytes <= 0:
+            return 0.0
+        return nbytes / self.transfer_time(nbytes)
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Interpolated transfer time at ``nbytes`` (seconds)."""
+        if nbytes <= 0:
+            return 0.0
+        times = self.sizes_bytes / self.bandwidths_bytes
+        if nbytes <= self.sizes_bytes[0]:
+            # Below the smallest sample: scale the first point's bandwidth.
+            return nbytes / self.bandwidths_bytes[0] + (times[0] - self.sizes_bytes[0] / self.bandwidths_bytes[0])
+        if nbytes >= self.sizes_bytes[-1]:
+            return nbytes / self.bandwidths_bytes[-1]
+        return float(np.interp(nbytes, self.sizes_bytes, times))
+
+
+def default_sample_sizes(min_bytes: int = 64 * 1024, max_bytes: int = 1 << 30,
+                         points_per_decade: int = 4) -> np.ndarray:
+    """Log-spaced message sizes used for offline bandwidth profiling."""
+    if min_bytes <= 0 or max_bytes <= min_bytes:
+        raise ValueError("need 0 < min_bytes < max_bytes")
+    decades = np.log10(max_bytes / min_bytes)
+    count = max(2, int(round(decades * points_per_decade)) + 1)
+    return np.unique(np.geomspace(min_bytes, max_bytes, count).astype(np.int64)).astype(np.float64)
+
+
+def sample_bandwidth(
+    curve: AnalyticBandwidthCurve,
+    sizes_bytes: np.ndarray | None = None,
+    noise: float = 0.0,
+    seed: int = 0,
+) -> SampledBandwidthCurve:
+    """Profile an analytic curve at discrete sizes (optionally with noise).
+
+    ``noise`` models measurement fluctuation of the offline profiling stage as
+    a relative multiplicative error, which is one of the sources of the
+    predictor error studied in Fig. 15.
+    """
+    sizes = default_sample_sizes() if sizes_bytes is None else np.asarray(sizes_bytes, dtype=np.float64)
+    bws = np.array([curve.bandwidth(s) for s in sizes], dtype=np.float64)
+    if noise > 0:
+        rng = np.random.default_rng(seed)
+        bws = bws * (1.0 + rng.uniform(-noise, noise, size=bws.shape))
+    return SampledBandwidthCurve(sizes_bytes=sizes, bandwidths_bytes=bws)

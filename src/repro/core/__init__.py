@@ -1,0 +1,85 @@
+"""FlashOverlap core: signaling, reordering, wave grouping, tuning, operator."""
+
+from repro.core.baselines import (
+    AsyncTPBaseline,
+    BaselineMethod,
+    BaselineResult,
+    CublasMpBaseline,
+    FluxFusionBaseline,
+    NonOverlapBaseline,
+    VanillaDecompositionBaseline,
+    default_baselines,
+    feature_matrix,
+)
+from repro.core.config import DEFAULT_SETTINGS, OverlapProblem, OverlapSettings
+from repro.core.executor import COMM_STREAM, COMPUTE_STREAM, OverlapExecutor, OverlapResult
+from repro.core.overlap import FlashOverlapOperator, OverlapPlan, SpeedupReport
+from repro.core.predictor import LatencyPredictor, OfflineProfile, PredictedTimeline
+from repro.core.reordering import (
+    PipelineResult,
+    ReorderPlan,
+    build_reorder_plan,
+    run_all_to_all_pipeline,
+    run_allreduce_pipeline,
+    run_reduce_scatter_pipeline,
+)
+from repro.core.signaling import CountingTable, GroupAssignment, SignalOrderError, SignalSchedule
+from repro.core.tuner import (
+    ExhaustiveTuner,
+    GemmShapeCache,
+    PredictiveTuner,
+    TuningResult,
+    search_quality,
+)
+from repro.core.wave_grouping import (
+    WavePartition,
+    candidate_partitions,
+    design_space_size,
+    enumerate_partitions,
+    pruned_partitions,
+)
+
+__all__ = [
+    "OverlapProblem",
+    "OverlapSettings",
+    "DEFAULT_SETTINGS",
+    "FlashOverlapOperator",
+    "OverlapPlan",
+    "SpeedupReport",
+    "OverlapExecutor",
+    "OverlapResult",
+    "COMPUTE_STREAM",
+    "COMM_STREAM",
+    "LatencyPredictor",
+    "OfflineProfile",
+    "PredictedTimeline",
+    "PredictiveTuner",
+    "ExhaustiveTuner",
+    "GemmShapeCache",
+    "TuningResult",
+    "search_quality",
+    "WavePartition",
+    "enumerate_partitions",
+    "pruned_partitions",
+    "candidate_partitions",
+    "design_space_size",
+    "CountingTable",
+    "GroupAssignment",
+    "SignalSchedule",
+    "SignalOrderError",
+    "ReorderPlan",
+    "build_reorder_plan",
+    "PipelineResult",
+    "run_allreduce_pipeline",
+    "run_reduce_scatter_pipeline",
+    "run_all_to_all_pipeline",
+    "BaselineMethod",
+    "BaselineResult",
+    "NonOverlapBaseline",
+    "VanillaDecompositionBaseline",
+    "AsyncTPBaseline",
+    "FluxFusionBaseline",
+    "CublasMpBaseline",
+    "default_baselines",
+    "feature_matrix",
+]

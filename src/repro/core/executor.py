@@ -1,0 +1,255 @@
+"""Ground-truth overlap executor (the simulated "real run").
+
+Where :class:`~repro.core.predictor.LatencyPredictor` is the cheap analytical
+model used by the tuner, :class:`OverlapExecutor` is the reproduction's
+stand-in for actually running the kernels: it derives wave completion times
+from the GEMM model under SM contention, replays the signaling mechanism,
+serializes the per-group collectives on a second stream with their launch and
+polling overheads, and adds a small deterministic jitter standing in for
+measurement noise.  The executor is what every benchmark measures and what the
+exhaustive search ranks candidates with.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.primitives import CollectiveModel
+from repro.core.config import DEFAULT_SETTINGS, OverlapProblem, OverlapSettings
+from repro.core.signaling import GroupAssignment, SignalSchedule
+from repro.core.wave_grouping import WavePartition
+from repro.gpu.kernels import KernelCategory, KernelLaunch
+from repro.sim.timeline import StreamTimeline
+from repro.sim.trace import Trace
+
+COMPUTE_STREAM = "compute"
+COMM_STREAM = "comm"
+
+
+@dataclass(frozen=True)
+class OverlapResult:
+    """Outcome of one simulated overlapped execution."""
+
+    latency: float
+    partition: WavePartition
+    trace: Trace
+    group_compute_ready: np.ndarray
+    group_comm_start: np.ndarray
+    group_comm_end: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.partition.group_sizes)
+
+    def head_overlap_tail(self) -> tuple[float, float, float]:
+        """Head / overlapped / tail decomposition of the timeline (Fig. 8)."""
+        return self.trace.head_tail_overlap(COMPUTE_STREAM, COMM_STREAM)
+
+    def speedup_over(self, baseline_latency: float) -> float:
+        if self.latency <= 0:
+            raise ValueError("result has non-positive latency")
+        return baseline_latency / self.latency
+
+
+class OverlapExecutor:
+    """Simulate FlashOverlap (and its sequential counterpart) for one problem."""
+
+    def __init__(
+        self, problem: OverlapProblem, settings: OverlapSettings = DEFAULT_SETTINGS
+    ) -> None:
+        self.problem = problem
+        self.settings = settings
+        self.compute_sms = problem.compute_sm_count()
+        self.gemm_contended = problem.gemm_model()
+        self.comm_model: CollectiveModel = problem.collective_model()
+
+    # -- basic quantities -----------------------------------------------------
+
+    def num_waves(self) -> int:
+        """Wave count of the GEMM under SM contention."""
+        return self.gemm_contended.num_waves(self.compute_sms)
+
+    def wave_tiles(self) -> list[list[int]]:
+        return self.gemm_contended.wave_tiles(self.compute_sms)
+
+    def assignment(self, partition: WavePartition) -> GroupAssignment:
+        return GroupAssignment.build(partition, self.wave_tiles())
+
+    def group_payload_bytes(self, assignment: GroupAssignment) -> np.ndarray:
+        """Exact bytes communicated per group (edge tiles included)."""
+        layout = self.gemm_contended.layout
+        return np.array(
+            [
+                sum(layout.tile_elements(t) for t in tiles) * self.problem.dtype_bytes
+                for tiles in assignment.group_tiles
+            ],
+            dtype=np.float64,
+        )
+
+    def _jitter(self, partition: WavePartition, count: int) -> np.ndarray:
+        """Deterministic per-group noise multipliers for this partition."""
+        if self.settings.executor_jitter <= 0:
+            return np.ones(count)
+        key = f"{self.problem.describe()}|{partition.group_sizes}|{self.settings.seed}"
+        seed = zlib.crc32(key.encode("utf-8"))
+        rng = np.random.default_rng(seed)
+        return 1.0 + rng.uniform(0.0, self.settings.executor_jitter, size=count)
+
+    # -- sequential baseline ----------------------------------------------------
+
+    def non_overlap_latency(self) -> float:
+        """GEMM on all SMs followed by one collective call on the full output."""
+        gemm = self.problem.gemm_model()
+        compute = gemm.duration(include_launch=True) * self.problem.imbalance
+        comm = (
+            self.comm_model.latency(self.problem.output_bytes() * self.problem.imbalance)
+            + self.settings.comm_launch_s
+        )
+        return compute + comm
+
+    def theoretical_latency(self) -> float:
+        """Perfect-overlap lower bound (Sec. 6.4).
+
+        If the GEMM dominates, only the communication of the final wave is
+        exposed; if communication dominates, only the first wave of compute is
+        exposed.
+        """
+        gemm = self.problem.gemm_model()
+        compute = gemm.duration(include_launch=True) * self.problem.imbalance
+        total_bytes = self.problem.output_bytes() * self.problem.imbalance
+        comm = self.comm_model.latency(total_bytes)
+        waves = max(1, self.num_waves())
+        wave_bytes = total_bytes / waves
+        contended = self.gemm_contended.duration(self.compute_sms, include_launch=True)
+        contended *= self.problem.imbalance
+        wave_compute = contended / waves
+        if compute >= comm:
+            return contended + self.comm_model.latency(wave_bytes)
+        return wave_compute + comm
+
+    def theoretical_speedup(self) -> float:
+        return self.non_overlap_latency() / self.theoretical_latency()
+
+    # -- overlapped execution ------------------------------------------------------
+
+    def simulate(self, partition: WavePartition) -> OverlapResult:
+        """Simulate the overlapped execution under a wave-group partition."""
+        if partition.num_waves != self.num_waves():
+            raise ValueError(
+                f"partition covers {partition.num_waves} waves, executor expects "
+                f"{self.num_waves()}"
+            )
+        assignment = self.assignment(partition)
+        payloads = self.group_payload_bytes(assignment) * self.problem.imbalance
+
+        # Wave completion times of the contended GEMM, shifted by the launch.
+        launch = self.problem.device.kernel_launch_seconds
+        wave_end = (
+            self.gemm_contended.wave_completion_times(self.compute_sms)
+            * self.problem.imbalance
+            + launch
+        )
+        tile_times = np.empty(self.gemm_contended.num_tiles)
+        for wave_index, tiles in enumerate(self.wave_tiles()):
+            tile_times[tiles] = wave_end[wave_index]
+        signals = SignalSchedule.from_tile_times(
+            assignment, tile_times, signal_latency=self.settings.signal_poll_s
+        )
+
+        jitter = self._jitter(partition, partition.num_groups)
+        timeline = StreamTimeline(launch_overhead=0.0)
+        gemm_body = wave_end[-1] - launch
+        timeline.enqueue(
+            COMPUTE_STREAM,
+            KernelLaunch(
+                name=f"gemm[{self.problem.shape.m}x{self.problem.shape.n}x{self.problem.shape.k}]",
+                duration=gemm_body + launch,
+                category=KernelCategory.GEMM,
+                sm_count=self.compute_sms,
+            ),
+        )
+
+        comm_start = np.zeros(partition.num_groups)
+        comm_end = np.zeros(partition.num_groups)
+        ready = np.zeros(partition.num_groups)
+        for group_index in range(partition.num_groups):
+            ready[group_index] = signals.ready_time(group_index)
+            duration = self.comm_model.latency(payloads[group_index]) * jitter[group_index]
+            span = timeline.enqueue(
+                COMM_STREAM,
+                KernelLaunch(
+                    name=f"{self.comm_model.kind.short_name}-G{group_index + 1}",
+                    duration=duration,
+                    category=KernelCategory.COMMUNICATION,
+                    sm_count=self.comm_model.sm_cost,
+                ),
+                not_before=ready[group_index] + self.settings.comm_launch_s,
+            )
+            comm_start[group_index] = span.start
+            comm_end[group_index] = span.end
+
+        timeline.trace.validate_stream_order()
+        return OverlapResult(
+            latency=float(comm_end[-1]),
+            partition=partition,
+            trace=timeline.trace,
+            group_compute_ready=ready,
+            group_comm_start=comm_start,
+            group_comm_end=comm_end,
+            metadata={
+                "payload_bytes": payloads,
+                "num_waves": self.num_waves(),
+                "compute_sms": self.compute_sms,
+            },
+        )
+
+    def simulate_sequential(self) -> OverlapResult:
+        """Simulate the sequential fallback (GEMM, then one collective call).
+
+        Used when the tuner concludes that overlapping would slow this shape
+        down (e.g. tiny communication under heavy SM contention); FlashOverlap
+        then simply does not reserve SMs and issues a single NCCL call.
+        """
+        partition = WavePartition.single_group(max(1, self.problem.gemm_model().num_waves()))
+        gemm = self.problem.gemm_model()
+        launch = self.problem.device.kernel_launch_seconds
+        gemm_duration = gemm.duration(include_launch=True) * self.problem.imbalance
+        payload = self.problem.output_bytes() * self.problem.imbalance
+        comm_duration = self.comm_model.latency(payload)
+        timeline = StreamTimeline(launch_overhead=0.0)
+        timeline.enqueue(
+            COMPUTE_STREAM,
+            KernelLaunch(
+                name="gemm[sequential]",
+                duration=gemm_duration,
+                category=KernelCategory.GEMM,
+                sm_count=self.problem.device.sm_count,
+            ),
+        )
+        span = timeline.enqueue(
+            COMM_STREAM,
+            KernelLaunch(
+                name=f"{self.comm_model.kind.short_name}-full",
+                duration=comm_duration,
+                category=KernelCategory.COMMUNICATION,
+                sm_count=self.comm_model.sm_cost,
+            ),
+            not_before=gemm_duration + self.settings.comm_launch_s,
+        )
+        return OverlapResult(
+            latency=float(span.end),
+            partition=partition,
+            trace=timeline.trace,
+            group_compute_ready=np.array([gemm_duration]),
+            group_comm_start=np.array([span.start]),
+            group_comm_end=np.array([span.end]),
+            metadata={"sequential_fallback": True, "launch": launch},
+        )
+
+    def speedup(self, partition: WavePartition) -> float:
+        """Speedup of the overlapped execution over the sequential baseline."""
+        return self.non_overlap_latency() / self.simulate(partition).latency

@@ -1,0 +1,173 @@
+"""The latency predictor used by the predictive search (paper Alg. 1).
+
+The predictor replaces online profiling: given a wave-group partition it
+estimates the overlapped latency from two offline-profiled quantities --
+the GEMM duration (turned into a per-wave time under SM contention) and the
+sampled communication bandwidth curve.  It deliberately ignores the
+second-order effects the ground-truth executor models (per-group launch
+overheads, signal polling, jitter), which is what produces the small positive
+bias of the actual latency over the prediction reported in Fig. 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.bandwidth import (
+    AnalyticBandwidthCurve,
+    SampledBandwidthCurve,
+    default_sample_sizes,
+    sample_bandwidth,
+)
+from repro.comm.primitives import CollectiveModel
+from repro.core.config import OverlapProblem, OverlapSettings, DEFAULT_SETTINGS
+from repro.core.wave_grouping import WavePartition
+
+
+@dataclass(frozen=True)
+class OfflineProfile:
+    """Everything the predictor knows, gathered at deployment time.
+
+    * ``num_waves`` -- wave count of the GEMM under SM contention
+      (``tile_num / (sm_num - comm_sm_num)``, Alg. 1 line 3),
+    * ``wave_time`` -- duration of one wave of the contended GEMM,
+    * ``wave_bytes`` -- output bytes produced by one full wave,
+    * ``comm_model`` -- collective latency model backed by the *sampled*
+      bandwidth curve (offline profiling of Fig. 8),
+    * ``sequential_compute_time`` -- GEMM duration *without* SM contention
+      (the non-overlapped execution does not reserve SMs for communication),
+    * ``imbalance`` -- workload skew of the slowest rank (1.0 = balanced).
+    """
+
+    num_waves: int
+    wave_time: float
+    wave_bytes: float
+    comm_model: CollectiveModel
+    sequential_compute_time: float = 0.0
+    imbalance: float = 1.0
+
+    @classmethod
+    def build(
+        cls, problem: OverlapProblem, settings: OverlapSettings = DEFAULT_SETTINGS
+    ) -> "OfflineProfile":
+        """Run the offline stage for a problem (Alg. 1 lines 1-5)."""
+        compute_sms = problem.compute_sm_count()
+        gemm = problem.gemm_model()
+        num_waves = gemm.num_waves(compute_sms)
+        wave_time = gemm.wave_duration(compute_sms)
+        wave_bytes = gemm.wave_size(compute_sms) * problem.tile_config().tile_bytes(
+            problem.dtype_bytes
+        )
+        analytic = AnalyticBandwidthCurve.for_topology(problem.topology)
+        sampled = sample_bandwidth(
+            analytic,
+            default_sample_sizes(points_per_decade=settings.bandwidth_samples_per_decade),
+            noise=settings.bandwidth_profile_noise,
+            seed=settings.seed,
+        )
+        comm_model = problem.collective_model().with_curve(sampled)
+        return cls(
+            num_waves=num_waves,
+            wave_time=wave_time,
+            wave_bytes=wave_bytes,
+            comm_model=comm_model,
+            sequential_compute_time=gemm.duration(include_launch=False),
+            imbalance=problem.imbalance,
+        )
+
+    def total_output_bytes(self, problem_bytes: float | None = None) -> float:
+        """Total bytes the collective must move (defaults to full waves)."""
+        if problem_bytes is not None:
+            return problem_bytes
+        return self.num_waves * self.wave_bytes
+
+
+@dataclass(frozen=True)
+class PredictedTimeline:
+    """Per-group predicted schedule (for inspection and tests)."""
+
+    compute_end: np.ndarray
+    comm_start: np.ndarray
+    comm_end: np.ndarray
+
+    @property
+    def latency(self) -> float:
+        return float(self.comm_end[-1]) if self.comm_end.size else 0.0
+
+
+class LatencyPredictor:
+    """Analytical latency prediction of an overlapped execution (Alg. 1)."""
+
+    def __init__(self, profile: OfflineProfile, total_bytes: float | None = None) -> None:
+        self.profile = profile
+        self._total_bytes = profile.total_output_bytes(total_bytes)
+
+    # -- per-group quantities ---------------------------------------------------
+
+    def group_bytes(self, partition: WavePartition) -> np.ndarray:
+        """Approximate communication payload of each group.
+
+        The predictor assumes full waves; the final group absorbs whatever is
+        left of the true output size (the last wave is usually partial).
+        """
+        sizes = np.array(partition.group_sizes, dtype=np.float64)
+        raw = sizes * self.profile.wave_bytes
+        overflow = raw.sum() - self._total_bytes
+        if overflow > 0:
+            raw[-1] = max(0.0, raw[-1] - overflow)
+        return raw
+
+    def group_compute_times(self, partition: WavePartition) -> np.ndarray:
+        sizes = np.array(partition.group_sizes, dtype=np.float64)
+        return sizes * self.profile.wave_time * self.profile.imbalance
+
+    def group_comm_times(self, partition: WavePartition) -> np.ndarray:
+        payloads = self.group_bytes(partition) * self.profile.imbalance
+        return np.array([self.profile.comm_model.latency(b) for b in payloads])
+
+    # -- the prediction ----------------------------------------------------------
+
+    def timeline(self, partition: WavePartition) -> PredictedTimeline:
+        """Accumulate compute and communication latencies group by group.
+
+        Communication of group ``i`` starts once (a) the GEMM has finished all
+        waves up to and including group ``i`` and (b) the previous group's
+        communication has drained (the collective calls are serialized on the
+        communication stream).
+        """
+        if partition.num_waves != self.profile.num_waves:
+            raise ValueError(
+                f"partition covers {partition.num_waves} waves, but the profile "
+                f"has {self.profile.num_waves}"
+            )
+        compute = self.group_compute_times(partition)
+        comm = self.group_comm_times(partition)
+        compute_end = np.cumsum(compute)
+        comm_start = np.empty_like(comm)
+        comm_end = np.empty_like(comm)
+        previous_end = 0.0
+        for i in range(partition.num_groups):
+            comm_start[i] = max(compute_end[i], previous_end)
+            comm_end[i] = comm_start[i] + comm[i]
+            previous_end = comm_end[i]
+        return PredictedTimeline(compute_end=compute_end, comm_start=comm_start, comm_end=comm_end)
+
+    def predict(self, partition: WavePartition) -> float:
+        """Predicted total latency of the overlapped execution."""
+        return self.timeline(partition).latency
+
+    def predict_non_overlap(self) -> float:
+        """Predicted latency of the sequential (non-overlapped) execution.
+
+        The sequential path does not reserve SMs for communication, so its
+        compute term is the uncontended GEMM duration (falling back to the
+        contended estimate when the profile does not carry one).
+        """
+        compute = self.profile.sequential_compute_time
+        if compute <= 0.0:
+            compute = self.profile.num_waves * self.profile.wave_time
+        compute *= self.profile.imbalance
+        comm = self.profile.comm_model.latency(self._total_bytes * self.profile.imbalance)
+        return compute + comm

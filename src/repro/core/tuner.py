@@ -1,0 +1,262 @@
+"""Wave-grouping tuners: predictive search, exhaustive search, shape cache.
+
+The online stage of the paper's Alg. 1: enumerate the pruned candidate
+partitions, rank them with the latency predictor, and return the best.  The
+exhaustive tuner ranks the same candidates with the ground-truth executor and
+is what the predictive search is measured against (Fig. 15 / claim C2).  The
+shape cache implements the nearest-neighbour reuse of tuned configurations for
+dynamic workloads (LLM inference) described in Sec. 4.2.2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.config import DEFAULT_SETTINGS, OverlapProblem, OverlapSettings
+from repro.core.executor import OverlapExecutor
+from repro.core.predictor import LatencyPredictor, OfflineProfile
+from repro.core.wave_grouping import WavePartition, candidate_partitions
+from repro.gpu.gemm import GemmShape
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of one tuning run.
+
+    ``use_overlap`` is False when even the best partition is predicted to be
+    slower than the plain sequential execution (typically tiny communication
+    under SM contention); the operator then falls back to the sequential path,
+    which is how FlashOverlap "effectively avoids performance deterioration".
+    """
+
+    partition: WavePartition
+    predicted_latency: float
+    candidates_evaluated: int
+    method: str
+    use_overlap: bool = True
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "overlap" if self.use_overlap else "sequential fallback"
+        return (
+            f"{self.method} ({mode}): partition {self.partition} "
+            f"({self.predicted_latency * 1e3:.3f} ms predicted, "
+            f"{self.candidates_evaluated} candidates)"
+        )
+
+
+class PredictiveTuner:
+    """Pick the wave-group partition with the lowest *predicted* latency."""
+
+    def __init__(self, settings: OverlapSettings = DEFAULT_SETTINGS) -> None:
+        self.settings = settings
+
+    def candidates(self, num_waves: int) -> list[WavePartition]:
+        return candidate_partitions(
+            num_waves,
+            max_first_group=self.settings.max_first_group,
+            max_last_group=self.settings.max_last_group,
+            max_exhaustive_waves=self.settings.max_exhaustive_waves,
+        )
+
+    def tune(self, problem: OverlapProblem, profile: OfflineProfile | None = None) -> TuningResult:
+        profile = profile or OfflineProfile.build(problem, self.settings)
+        predictor = LatencyPredictor(profile, total_bytes=problem.output_bytes())
+        best: WavePartition | None = None
+        best_latency = math.inf
+        count = 0
+        for partition in self.candidates(profile.num_waves):
+            count += 1
+            latency = predictor.predict(partition)
+            if latency < best_latency:
+                best, best_latency = partition, latency
+        if best is None:  # pragma: no cover - defensive
+            raise RuntimeError("no candidate partitions were generated")
+        use_overlap = best_latency <= predictor.predict_non_overlap()
+        return TuningResult(
+            partition=best,
+            predicted_latency=best_latency,
+            candidates_evaluated=count,
+            method="predictive",
+            use_overlap=use_overlap,
+        )
+
+
+class ExhaustiveTuner:
+    """Pick the partition with the lowest *simulated* (ground-truth) latency.
+
+    This is the paper's exhaustive online-profiling search: accurate but far
+    too slow to run per shape in production, so it serves as the quality
+    reference for the predictive search.
+    """
+
+    def __init__(self, settings: OverlapSettings = DEFAULT_SETTINGS) -> None:
+        self.settings = settings
+
+    def tune(self, problem: OverlapProblem, executor: OverlapExecutor | None = None) -> TuningResult:
+        executor = executor or OverlapExecutor(problem, self.settings)
+        num_waves = executor.num_waves()
+        candidates = candidate_partitions(
+            num_waves,
+            max_first_group=self.settings.max_first_group,
+            max_last_group=self.settings.max_last_group,
+            max_exhaustive_waves=self.settings.max_exhaustive_waves,
+        )
+        best: WavePartition | None = None
+        best_latency = math.inf
+        for partition in candidates:
+            latency = executor.simulate(partition).latency
+            if latency < best_latency:
+                best, best_latency = partition, latency
+        if best is None:  # pragma: no cover - defensive
+            raise RuntimeError("no candidate partitions were generated")
+        return TuningResult(
+            partition=best,
+            predicted_latency=best_latency,
+            candidates_evaluated=len(candidates),
+            method="exhaustive",
+        )
+
+
+def _tuning_result_to_dict(result: TuningResult) -> dict:
+    return {
+        "group_sizes": list(result.partition.group_sizes),
+        "predicted_latency": result.predicted_latency,
+        "candidates_evaluated": result.candidates_evaluated,
+        "method": result.method,
+        "use_overlap": result.use_overlap,
+    }
+
+
+def _tuning_result_from_dict(payload: dict) -> TuningResult:
+    return TuningResult(
+        partition=WavePartition.from_sizes(payload["group_sizes"]),
+        predicted_latency=float(payload["predicted_latency"]),
+        candidates_evaluated=int(payload["candidates_evaluated"]),
+        method=str(payload["method"]),
+        use_overlap=bool(payload.get("use_overlap", True)),
+    )
+
+
+@dataclass
+class ShapeCacheEntry:
+    shape: GemmShape
+    result: TuningResult
+
+
+@dataclass
+class GemmShapeCache:
+    """Nearest-neighbour reuse of tuned partitions for unseen GEMM shapes.
+
+    Distance is measured in log-space over (M, N, K) so that "twice as many
+    rows" counts the same at every scale.  Entries whose wave count differs
+    from the query problem cannot be reused directly and are skipped.
+    """
+
+    entries: list[ShapeCacheEntry] = field(default_factory=list)
+
+    def add(self, shape: GemmShape, result: TuningResult) -> None:
+        self.entries.append(ShapeCacheEntry(shape=shape, result=result))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @staticmethod
+    def _distance(a: GemmShape, b: GemmShape) -> float:
+        return (
+            abs(math.log2(a.m / b.m))
+            + abs(math.log2(a.n / b.n))
+            + abs(math.log2(a.k / b.k))
+        )
+
+    def nearest(self, shape: GemmShape, required_waves: int | None = None) -> ShapeCacheEntry | None:
+        """Closest cached shape, optionally restricted to a wave count."""
+        best: ShapeCacheEntry | None = None
+        best_distance = math.inf
+        for entry in self.entries:
+            if required_waves is not None and entry.result.partition.num_waves != required_waves:
+                continue
+            distance = self._distance(shape, entry.shape)
+            if distance < best_distance:
+                best, best_distance = entry, distance
+        return best
+
+    # -- persistence -------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise the cache (shapes + tuned partitions) to a JSON string.
+
+        This is how a deployment persists its offline/online tuning results
+        across process restarts (the paper's offline stage is run once per
+        deployment setup).
+        """
+        import json
+
+        payload = [
+            {
+                "shape": {"m": entry.shape.m, "n": entry.shape.n, "k": entry.shape.k},
+                "result": _tuning_result_to_dict(entry.result),
+            }
+            for entry in self.entries
+        ]
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "GemmShapeCache":
+        """Rebuild a cache from :meth:`to_json` output."""
+        import json
+
+        cache = cls()
+        for item in json.loads(text):
+            shape = GemmShape(m=item["shape"]["m"], n=item["shape"]["n"], k=item["shape"]["k"])
+            cache.add(shape, _tuning_result_from_dict(item["result"]))
+        return cache
+
+    def save(self, path) -> None:
+        """Write the cache to a JSON file."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path) -> "GemmShapeCache":
+        """Load a cache previously written with :meth:`save`."""
+        from pathlib import Path
+
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def lookup_or_tune(
+        self,
+        problem: OverlapProblem,
+        tuner: PredictiveTuner,
+        max_distance: float = 1.0,
+    ) -> TuningResult:
+        """Reuse the nearest cached partition when close enough, else tune."""
+        executor_waves = OverlapExecutor(problem, tuner.settings).num_waves()
+        entry = self.nearest(problem.shape, required_waves=executor_waves)
+        if entry is not None and self._distance(problem.shape, entry.shape) <= max_distance:
+            return entry.result
+        result = tuner.tune(problem)
+        self.add(problem.shape, result)
+        return result
+
+
+def search_quality(
+    problem: OverlapProblem, settings: OverlapSettings = DEFAULT_SETTINGS
+) -> dict[str, float]:
+    """Compare the predictive search against the exhaustive search.
+
+    Returns the actual latencies of both picks and the performance ratio
+    (exhaustive / predictive, so 1.0 means the predictive pick is optimal).
+    """
+    executor = OverlapExecutor(problem, settings)
+    predictive = PredictiveTuner(settings).tune(problem)
+    exhaustive = ExhaustiveTuner(settings).tune(problem, executor)
+    predictive_actual = executor.simulate(predictive.partition).latency
+    exhaustive_actual = executor.simulate(exhaustive.partition).latency
+    return {
+        "predictive_latency": predictive_actual,
+        "exhaustive_latency": exhaustive_actual,
+        "performance_ratio": exhaustive_actual / predictive_actual,
+        "predicted_latency": predictive.predicted_latency,
+    }

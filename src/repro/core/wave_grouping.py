@@ -1,0 +1,232 @@
+"""Wave-group partitions: the tunable design space of FlashOverlap.
+
+A GEMM executes in ``T`` waves.  After each wave the design may either trigger
+the communication of everything accumulated since the previous trigger, or
+keep accumulating; the last wave always triggers.  A choice is therefore a
+*composition* of ``T`` -- an ordered tuple of positive group sizes summing to
+``T`` -- and the raw design space has ``2^(T-1)`` elements (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WavePartition:
+    """An ordered partition of ``T`` waves into contiguous groups."""
+
+    group_sizes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.group_sizes:
+            raise ValueError("a partition needs at least one group")
+        if any(size <= 0 for size in self.group_sizes):
+            raise ValueError(f"group sizes must be positive, got {self.group_sizes}")
+
+    @classmethod
+    def from_sizes(cls, sizes: Iterable[int]) -> "WavePartition":
+        return cls(tuple(int(s) for s in sizes))
+
+    @classmethod
+    def single_group(cls, num_waves: int) -> "WavePartition":
+        """All waves in one group: communication entirely after the GEMM."""
+        return cls((num_waves,))
+
+    @classmethod
+    def per_wave(cls, num_waves: int) -> "WavePartition":
+        """One group per wave: the most fine-grained signaling."""
+        return cls((1,) * num_waves)
+
+    @classmethod
+    def equal_groups(cls, num_waves: int, group_size: int) -> "WavePartition":
+        """Equally sized groups of ``group_size`` waves (last group absorbs the
+        remainder), the ablation baseline of Fig. 14."""
+        if group_size <= 0:
+            raise ValueError("group_size must be positive")
+        if group_size >= num_waves:
+            return cls.single_group(num_waves)
+        full = num_waves // group_size
+        sizes = [group_size] * full
+        remainder = num_waves - full * group_size
+        if remainder:
+            sizes.append(remainder)
+        return cls(tuple(sizes))
+
+    @classmethod
+    def from_decisions(cls, decisions: Sequence[bool]) -> "WavePartition":
+        """Build a partition from the binary "communicate after wave i" vector.
+
+        ``decisions`` has one entry per wave; the last wave's decision is
+        forced to True (all remaining data must be communicated).
+        """
+        if not decisions:
+            raise ValueError("need at least one wave")
+        sizes = []
+        current = 0
+        for index, flag in enumerate(decisions):
+            current += 1
+            last = index == len(decisions) - 1
+            if flag or last:
+                sizes.append(current)
+                current = 0
+        return cls(tuple(sizes))
+
+    # -- properties -------------------------------------------------------------
+
+    @property
+    def num_waves(self) -> int:
+        return sum(self.group_sizes)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.group_sizes)
+
+    @property
+    def first_group(self) -> int:
+        return self.group_sizes[0]
+
+    @property
+    def last_group(self) -> int:
+        return self.group_sizes[-1]
+
+    def boundaries(self) -> list[int]:
+        """Cumulative wave counts at the end of each group (1-based waves)."""
+        total = 0
+        result = []
+        for size in self.group_sizes:
+            total += size
+            result.append(total)
+        return result
+
+    def decisions(self) -> list[bool]:
+        """The binary "communicate after wave i" vector of this partition."""
+        flags = [False] * self.num_waves
+        for boundary in self.boundaries():
+            flags[boundary - 1] = True
+        return flags
+
+    def group_of_wave(self, wave_index: int) -> int:
+        """Group index containing wave ``wave_index`` (0-based)."""
+        if not 0 <= wave_index < self.num_waves:
+            raise IndexError(f"wave {wave_index} outside 0..{self.num_waves - 1}")
+        for group_index, boundary in enumerate(self.boundaries()):
+            if wave_index < boundary:
+                return group_index
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def group_waves(self, group_index: int) -> range:
+        """Wave indices (0-based) belonging to one group."""
+        if not 0 <= group_index < self.num_groups:
+            raise IndexError(f"group {group_index} outside 0..{self.num_groups - 1}")
+        boundaries = [0] + self.boundaries()
+        return range(boundaries[group_index], boundaries[group_index + 1])
+
+    def group_tiles(self, wave_tiles: Sequence[Sequence[int]]) -> list[list[int]]:
+        """Tile indices of each group given the per-wave tile lists."""
+        if len(wave_tiles) != self.num_waves:
+            raise ValueError(
+                f"partition covers {self.num_waves} waves but {len(wave_tiles)} "
+                "wave tile lists were provided"
+            )
+        groups = []
+        for group_index in range(self.num_groups):
+            tiles: list[int] = []
+            for wave_index in self.group_waves(group_index):
+                tiles.extend(wave_tiles[wave_index])
+            groups.append(tiles)
+        return groups
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "(" + ", ".join(str(s) for s in self.group_sizes) + ")"
+
+
+# -- design-space enumeration -------------------------------------------------
+
+
+def enumerate_partitions(num_waves: int) -> Iterator[WavePartition]:
+    """Enumerate the full design space: all ``2^(T-1)`` compositions of ``T``."""
+    if num_waves <= 0:
+        raise ValueError("num_waves must be positive")
+    if num_waves == 1:
+        yield WavePartition((1,))
+        return
+    for mask in range(1 << (num_waves - 1)):
+        decisions = [bool(mask >> i & 1) for i in range(num_waves - 1)] + [True]
+        yield WavePartition.from_decisions(decisions)
+
+
+def design_space_size(num_waves: int) -> int:
+    """Size of the unpruned design space."""
+    if num_waves <= 0:
+        raise ValueError("num_waves must be positive")
+    return 1 << (num_waves - 1)
+
+
+def pruned_partitions(
+    num_waves: int, max_first_group: int, max_last_group: int
+) -> list[WavePartition]:
+    """The pruned design space: bounded first and last group sizes.
+
+    The first group controls the head latency (cold start) and the last group
+    controls the tail, so both are preferred small (Sec. 4.1.3/4.1.4).
+    """
+    return [
+        p
+        for p in enumerate_partitions(num_waves)
+        if p.first_group <= max_first_group and p.last_group <= max_last_group
+    ]
+
+
+def heuristic_partitions(
+    num_waves: int, max_first_group: int, max_last_group: int
+) -> list[WavePartition]:
+    """A compact candidate family for large ``T`` where enumeration explodes.
+
+    Combines (a) equal-size groupings for every group size, (b) geometric
+    "small head, growing body, bounded tail" partitions, and (c) the per-wave
+    and single-group extremes.  All candidates respect the first/last bounds
+    where possible.
+    """
+    candidates: dict[tuple[int, ...], WavePartition] = {}
+
+    def add(partition: WavePartition) -> None:
+        candidates.setdefault(partition.group_sizes, partition)
+
+    add(WavePartition.per_wave(num_waves))
+    if num_waves <= max_last_group:
+        add(WavePartition.single_group(num_waves))
+    for group_size in range(1, num_waves + 1):
+        partition = WavePartition.equal_groups(num_waves, group_size)
+        add(partition)
+    for first in range(1, min(max_first_group, num_waves) + 1):
+        for growth in (1.0, 1.5, 2.0, 3.0):
+            sizes = [first]
+            current = float(first)
+            while sum(sizes) < num_waves:
+                current = max(current * growth, current + 1) if growth > 1 else current
+                remaining = num_waves - sum(sizes)
+                size = min(int(round(current)), remaining)
+                # Keep the tail bounded: split an oversized final group.
+                if remaining - size == 0 and size > max_last_group:
+                    size = max_last_group
+                sizes.append(max(1, size))
+            add(WavePartition.from_sizes(sizes))
+    return list(candidates.values())
+
+
+def candidate_partitions(
+    num_waves: int,
+    max_first_group: int,
+    max_last_group: int,
+    max_exhaustive_waves: int,
+) -> list[WavePartition]:
+    """Candidates used by the tuner: pruned enumeration when tractable,
+    heuristic family otherwise."""
+    if num_waves <= max_exhaustive_waves:
+        pruned = pruned_partitions(num_waves, max_first_group, max_last_group)
+        if pruned:
+            return pruned
+        return list(enumerate_partitions(num_waves))
+    return heuristic_partitions(num_waves, max_first_group, max_last_group)

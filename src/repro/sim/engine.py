@@ -1,0 +1,97 @@
+"""A minimal discrete-event simulation engine.
+
+Events are ``(time, callback)`` pairs ordered by time (FIFO among equal
+times).  Callbacks may schedule further events.  The engine is deliberately
+tiny -- the overlap timeline only needs ordered execution and a clock -- but it
+is written as a general component so other executors (e.g. the event-driven
+overlap executor used for cross-checking the analytic timeline) can build on
+it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventEngine:
+    """Priority-queue driven event loop with a simulated clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(self, time: float, callback: Callable[..., Any], *args: Any) -> _ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule event at {time} before now ({self._now})")
+        event = _ScheduledEvent(time=time, sequence=next(self._counter), callback=callback, args=args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay: float, callback: Callable[..., Any], *args: Any) -> _ScheduledEvent:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule(self._now + delay, callback, *args)
+
+    def cancel(self, event: _ScheduledEvent) -> None:
+        """Cancel a previously scheduled event (it will be skipped)."""
+        event.cancelled = True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run events until the queue drains (or a limit is reached).
+
+        Returns the final simulation time.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = max(self._now, event.time)
+            event.callback(*event.args)
+            self._processed += 1
+            executed += 1
+        if until is not None and not self._queue:
+            self._now = max(self._now, until) if executed == 0 else self._now
+        return self._now
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0.0
+        self._processed = 0

@@ -1,0 +1,81 @@
+"""Stream-ordered timeline builder.
+
+Models the execution semantics the overlap design relies on:
+
+* kernels on one stream execute in enqueue order, back to back,
+* a kernel may additionally wait on a cross-stream dependency (the signal
+  released when a wave group finishes),
+* every launch pays a fixed overhead before the kernel body runs.
+
+The builder produces a :class:`~repro.sim.trace.Trace` so all analyses (head /
+overlap / tail, busy time, rendering) are shared with other executors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.kernels import KernelCategory, KernelLaunch
+from repro.sim.trace import Span, Trace
+
+
+@dataclass
+class StreamTimeline:
+    """In-order multi-stream timeline with cross-stream dependencies."""
+
+    launch_overhead: float = 0.0
+    trace: Trace = field(default_factory=Trace)
+    _stream_available: dict[str, float] = field(default_factory=dict)
+
+    def stream_available_at(self, stream: str) -> float:
+        """Time at which a stream becomes free for its next kernel."""
+        return self._stream_available.get(stream, 0.0)
+
+    def enqueue(
+        self,
+        stream: str,
+        kernel: KernelLaunch,
+        not_before: float = 0.0,
+        pay_launch_overhead: bool = True,
+    ) -> Span:
+        """Enqueue a kernel on a stream.
+
+        ``not_before`` expresses a cross-stream dependency: the kernel body
+        cannot start before that time even if the stream is idle (this is how
+        the signal-wait of a wave group is modeled).
+        """
+        overhead = self.launch_overhead if pay_launch_overhead else 0.0
+        ready = max(self.stream_available_at(stream), not_before)
+        start = ready + overhead
+        end = start + kernel.duration
+        self._stream_available[stream] = end
+        return self.trace.record(stream, kernel.name, start, end, kernel.category)
+
+    def run_sequence(
+        self, stream: str, kernels: list[KernelLaunch], not_before: float = 0.0
+    ) -> list[Span]:
+        """Enqueue a list of kernels back to back on one stream."""
+        spans = []
+        gate = not_before
+        for kernel in kernels:
+            spans.append(self.enqueue(stream, kernel, not_before=gate))
+            gate = 0.0
+        return spans
+
+    def barrier(self, streams: list[str] | None = None) -> float:
+        """Return the time at which all (or the given) streams are idle."""
+        streams = streams or list(self._stream_available)
+        if not streams:
+            return 0.0
+        return max(self.stream_available_at(s) for s in streams)
+
+    def makespan(self) -> float:
+        return self.trace.makespan()
+
+    def idle_time(self, stream: str) -> float:
+        """Idle gaps on a stream between time 0 and the overall makespan."""
+        return self.makespan() - self.trace.busy_time(stream)
+
+    def record_marker(self, stream: str, name: str, time: float) -> Span:
+        """Record a zero-duration marker span (e.g. a signal firing)."""
+        return self.trace.record(stream, name, time, time, KernelCategory.SIGNAL)

@@ -1,0 +1,90 @@
+"""Export simulated timelines to the Chrome trace-event format.
+
+The JSON produced here can be loaded into ``chrome://tracing`` / Perfetto to
+inspect a simulated overlap schedule the same way one would inspect an Nsight
+capture of the real system: one row per stream, one slice per kernel, instant
+events for signals.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.gpu.kernels import KernelCategory
+from repro.sim.trace import Trace
+
+#: Chrome trace colour names per kernel category.
+_CATEGORY_COLORS = {
+    KernelCategory.GEMM: "thread_state_running",
+    KernelCategory.COMMUNICATION: "rail_response",
+    KernelCategory.SIGNAL: "vsync_highlight_color",
+    KernelCategory.ELEMENTWISE: "thread_state_runnable",
+    KernelCategory.REORDER: "thread_state_iowait",
+    KernelCategory.OTHER: "generic_work",
+}
+
+
+def trace_to_chrome_events(trace: Trace, process_name: str = "simulated-gpu") -> list[dict]:
+    """Convert a :class:`Trace` into a list of Chrome trace-event dicts.
+
+    Durations are emitted in microseconds (the Chrome trace unit).  Streams
+    become threads of a single process; zero-duration spans become instant
+    events.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    stream_ids = {stream: index for index, stream in enumerate(trace.streams())}
+    for stream, tid in stream_ids.items():
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid, "args": {"name": stream}}
+        )
+    for span in trace.spans:
+        tid = stream_ids[span.stream]
+        start_us = span.start * 1e6
+        if span.duration == 0.0:
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 0,
+                    "tid": tid,
+                    "ts": start_us,
+                    "cat": span.category.value,
+                }
+            )
+            continue
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "pid": 0,
+                "tid": tid,
+                "ts": start_us,
+                "dur": span.duration * 1e6,
+                "cat": span.category.value,
+                "cname": _CATEGORY_COLORS.get(span.category, "generic_work"),
+            }
+        )
+    return events
+
+
+def export_chrome_trace(trace: Trace, path: str | Path, process_name: str = "simulated-gpu") -> Path:
+    """Write a Chrome trace JSON file and return its path."""
+    path = Path(path)
+    payload = {"traceEvents": trace_to_chrome_events(trace, process_name), "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    return path
+
+
+def load_chrome_trace(path: str | Path) -> dict:
+    """Read back a Chrome trace JSON file (round-trip helper for tests/tools)."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

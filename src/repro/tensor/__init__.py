@@ -1,0 +1,35 @@
+"""Tile/layout substrate.
+
+The overlap design in FlashOverlap reasons about the GEMM output matrix in
+units of *tiles* (the block of output computed by one thread block), and about
+finer units derived from tiles: *sub-tiles* (a tile split along its rows into
+one slice per GPU, used for ReduceScatter) and *sub-tokens* (a single row of a
+tile, used for All-to-All).  This package provides:
+
+* :class:`~repro.tensor.layout.TileLayout` -- the tile grid geometry of an
+  ``M x N`` output matrix,
+* :class:`~repro.tensor.mapping.MappingTable` -- the original-index to
+  reordered-index table used by the pre/post communication reorderings,
+* helpers in :mod:`repro.tensor.tiles` to gather tiles (or sub-units) into a
+  contiguous communication buffer and scatter them back.
+"""
+
+from repro.tensor.layout import TileLayout
+from repro.tensor.mapping import MappingTable
+from repro.tensor.tiles import (
+    extract_tile,
+    gather_tiles,
+    scatter_tile,
+    scatter_tiles,
+    split_tile_rows,
+)
+
+__all__ = [
+    "TileLayout",
+    "MappingTable",
+    "extract_tile",
+    "gather_tiles",
+    "scatter_tile",
+    "scatter_tiles",
+    "split_tile_rows",
+]

@@ -1,0 +1,131 @@
+"""End-to-end workloads of the paper's Table 4.
+
+Each builder returns an :class:`~repro.workloads.operators.EndToEndWorkload`
+whose operator stream describes one transformer layer of the application; the
+``layers`` field repeats it (the paper truncates the training models to 8 / 4
+layers so that they fit on one node, which is mirrored here).
+
+| Application      | Model            | Parallelism   | Input size            |
+|------------------|------------------|---------------|-----------------------|
+| LLM inference    | Llama3-70B       | TP=8          | chunk_size = 16384    |
+| LLM training     | Mixtral-8x7B     | EP=4, TP=2    | input tokens = 32768  |
+| LLM training     | Llama3-70B       | TP=8          | input tokens = 16384  |
+| T2V generation   | Step-Video-T2V   | TP=4          | input tokens = 33792  |
+"""
+
+from __future__ import annotations
+
+from repro.comm.topology import Topology, a800_nvlink
+from repro.core.config import DEFAULT_SETTINGS, OverlapSettings
+from repro.gpu.device import A800, GPUSpec
+from repro.workloads.llm import LLAMA2_7B, LLAMA3_70B, llm_inference_layer, llm_training_layer
+from repro.workloads.moe import MIXTRAL_8X7B, moe_training_layer
+from repro.workloads.operators import EndToEndWorkload, OperatorInstance
+from repro.workloads.parallelism import ParallelismConfig
+from repro.workloads.t2v import STEP_VIDEO_T2V, t2v_inference_layer
+
+__all__ = [
+    "EndToEndWorkload",
+    "OperatorInstance",
+    "llama3_inference_workload",
+    "llama3_training_workload",
+    "llama2_training_workload",
+    "mixtral_training_workload",
+    "step_video_workload",
+    "paper_workloads",
+]
+
+
+def llama3_inference_workload(
+    chunk_size: int = 16384,
+    device: GPUSpec = A800,
+    topology: Topology | None = None,
+    layers: int = 8,
+    settings: OverlapSettings = DEFAULT_SETTINGS,
+) -> EndToEndWorkload:
+    """Llama3-70B prefill under TP=8 (vLLM-style chunked prefill)."""
+    parallelism = ParallelismConfig(tp=8)
+    topology = topology or a800_nvlink(parallelism.tp)
+    ops = llm_inference_layer(LLAMA3_70B, chunk_size, parallelism, device, topology)
+    return EndToEndWorkload(
+        name="Llama3-70B inference (TP=8)", operators=ops, layers=layers, settings=settings
+    )
+
+
+def llama3_training_workload(
+    input_tokens: int = 16384,
+    device: GPUSpec = A800,
+    topology: Topology | None = None,
+    layers: int = 8,
+    settings: OverlapSettings = DEFAULT_SETTINGS,
+) -> EndToEndWorkload:
+    """Llama3-70B training (8 layers) under TP=8 with sequence parallelism."""
+    parallelism = ParallelismConfig(tp=8)
+    topology = topology or a800_nvlink(parallelism.tp)
+    ops = llm_training_layer(LLAMA3_70B, input_tokens, parallelism, device, topology)
+    return EndToEndWorkload(
+        name="Llama3-70B training (TP=8)", operators=ops, layers=layers, settings=settings
+    )
+
+
+def llama2_training_workload(
+    input_tokens: int = 8192,
+    device: GPUSpec = A800,
+    topology: Topology | None = None,
+    layers: int = 8,
+    settings: OverlapSettings = DEFAULT_SETTINGS,
+) -> EndToEndWorkload:
+    """Llama2-7B training under TP=4 (the Fig. 4 profiling workload).
+
+    Pipeline parallelism (PP=2 in the paper) splits layers across stages but
+    does not change the per-layer "GEMM + collective" pattern, so only the
+    tensor-parallel degree matters here.
+    """
+    parallelism = ParallelismConfig(tp=4, pp=2)
+    topology = topology or a800_nvlink(parallelism.tp)
+    ops = llm_training_layer(LLAMA2_7B, input_tokens, parallelism, device, topology)
+    return EndToEndWorkload(
+        name="Llama2-7B training (TP=4, PP=2)", operators=ops, layers=layers, settings=settings
+    )
+
+
+def mixtral_training_workload(
+    input_tokens: int = 32768,
+    device: GPUSpec = A800,
+    topology: Topology | None = None,
+    layers: int = 4,
+    settings: OverlapSettings = DEFAULT_SETTINGS,
+) -> EndToEndWorkload:
+    """Mixtral-8x7B training (4 layers) under EP=4, TP=2."""
+    parallelism = ParallelismConfig(tp=2, ep=4)
+    topology = topology or a800_nvlink(parallelism.world_size)
+    ops = moe_training_layer(MIXTRAL_8X7B, input_tokens, parallelism, device, topology)
+    return EndToEndWorkload(
+        name="Mixtral-8x7B training (EP=4, TP=2)", operators=ops, layers=layers, settings=settings
+    )
+
+
+def step_video_workload(
+    input_tokens: int = 33792,
+    device: GPUSpec = A800,
+    topology: Topology | None = None,
+    layers: int = 8,
+    settings: OverlapSettings = DEFAULT_SETTINGS,
+) -> EndToEndWorkload:
+    """Step-Video-T2V DiT inference under TP=4."""
+    parallelism = ParallelismConfig(tp=4)
+    topology = topology or a800_nvlink(parallelism.tp)
+    ops = t2v_inference_layer(STEP_VIDEO_T2V, input_tokens, parallelism, device, topology)
+    return EndToEndWorkload(
+        name="Step-Video-T2V (TP=4)", operators=ops, layers=layers, settings=settings
+    )
+
+
+def paper_workloads(settings: OverlapSettings = DEFAULT_SETTINGS) -> list[EndToEndWorkload]:
+    """All four Table 4 applications with their default parameters."""
+    return [
+        llama3_inference_workload(settings=settings),
+        mixtral_training_workload(settings=settings),
+        llama3_training_workload(settings=settings),
+        step_video_workload(settings=settings),
+    ]

@@ -1,0 +1,238 @@
+"""Dense-LLM layer workloads (Llama-style) under tensor parallelism.
+
+The paper's end-to-end evaluation replaces the "linear layer + collective"
+pairs of real frameworks (vLLM / Megatron-LM) with FlashOverlap.  Here a
+decoder layer is described as a stream of operators: the tensor-parallel GEMMs
+that are followed by a collective (the overlap targets), the GEMMs that are
+not, and the remaining compute (attention, normalisation, element-wise), so
+that the Fig. 4 latency-share breakdown and the Fig. 12 end-to-end speedups
+can be derived from the same substrate models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.primitives import CollectiveKind
+from repro.comm.topology import Topology
+from repro.core.config import OverlapProblem
+from repro.gpu.device import GPUSpec
+from repro.gpu.epilogue import ElementwiseKernelModel
+from repro.gpu.gemm import GemmKernelModel, GemmShape
+from repro.workloads.operators import OperatorInstance
+from repro.workloads.parallelism import ParallelismConfig
+
+#: Fraction of peak tensor throughput achieved by fused attention kernels.
+ATTENTION_EFFICIENCY = 0.5
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Dense transformer configuration (the fields the workloads need)."""
+
+    name: str
+    hidden_size: int
+    intermediate_size: int
+    num_layers: int
+    num_heads: int
+    num_kv_heads: int
+    vocab_size: int = 128256
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    @property
+    def kv_hidden(self) -> int:
+        return self.num_kv_heads * self.head_dim
+
+
+LLAMA3_70B = ModelConfig(
+    name="Llama3-70B",
+    hidden_size=8192,
+    intermediate_size=28672,
+    num_layers=80,
+    num_heads=64,
+    num_kv_heads=8,
+)
+
+LLAMA2_7B = ModelConfig(
+    name="Llama2-7B",
+    hidden_size=4096,
+    intermediate_size=11008,
+    num_layers=32,
+    num_heads=32,
+    num_kv_heads=32,
+    vocab_size=32000,
+)
+
+
+def _gemm_latency(shape: GemmShape, device: GPUSpec) -> float:
+    """Duration of a non-overlapped (compute-only) GEMM."""
+    return GemmKernelModel(shape, device).duration()
+
+
+def _attention_latency(tokens: int, model: ModelConfig, parallelism: ParallelismConfig,
+                       device: GPUSpec, causal: bool = True) -> float:
+    """Rough fused-attention latency: score + value FLOPs at reduced efficiency."""
+    flops = 4.0 * tokens * tokens * model.hidden_size / parallelism.tp
+    if causal:
+        flops /= 2.0
+    return flops / (device.flops_per_second * ATTENTION_EFFICIENCY)
+
+
+def _elementwise_latency(elements: int, device: GPUSpec, passes: int = 1) -> float:
+    model = ElementwiseKernelModel(device)
+    return passes * model.duration(elements)
+
+
+def llm_inference_layer(
+    model: ModelConfig,
+    tokens: int,
+    parallelism: ParallelismConfig,
+    device: GPUSpec,
+    topology: Topology,
+) -> list[OperatorInstance]:
+    """One decoder layer of TP inference (Megatron-style row/column split).
+
+    The two row-parallel projections (attention output and MLP down) are each
+    followed by an AllReduce -- these are the overlap targets.  Everything
+    else (column-parallel GEMMs, fused attention, norms) contributes to
+    "others".
+    """
+    tp = parallelism.tp
+    hidden = model.hidden_size
+    inter = model.intermediate_size
+    ops: list[OperatorInstance] = []
+
+    qkv_cols = (hidden + 2 * model.kv_hidden) // tp
+    ops.append(
+        OperatorInstance(
+            name="qkv-proj",
+            other_latency=_gemm_latency(GemmShape(tokens, qkv_cols, hidden), device),
+        )
+    )
+    ops.append(
+        OperatorInstance(
+            name="attention-core",
+            other_latency=_attention_latency(tokens, model, parallelism, device),
+        )
+    )
+    ops.append(
+        OperatorInstance(
+            name="attn-out-proj+AR",
+            problem=OverlapProblem(
+                shape=GemmShape(tokens, hidden, hidden // tp),
+                device=device,
+                topology=topology,
+                collective=CollectiveKind.ALL_REDUCE,
+            ),
+        )
+    )
+    ops.append(
+        OperatorInstance(
+            name="mlp-up-gate",
+            other_latency=_gemm_latency(GemmShape(tokens, 2 * inter // tp, hidden), device),
+        )
+    )
+    ops.append(
+        OperatorInstance(
+            name="mlp-down+AR",
+            problem=OverlapProblem(
+                shape=GemmShape(tokens, hidden, inter // tp),
+                device=device,
+                topology=topology,
+                collective=CollectiveKind.ALL_REDUCE,
+            ),
+        )
+    )
+    ops.append(
+        OperatorInstance(
+            name="norms+residual+rotary",
+            other_latency=_elementwise_latency(tokens * hidden, device, passes=6),
+        )
+    )
+    return ops
+
+
+def llm_training_layer(
+    model: ModelConfig,
+    tokens: int,
+    parallelism: ParallelismConfig,
+    device: GPUSpec,
+    topology: Topology,
+) -> list[OperatorInstance]:
+    """One decoder layer of TP training (forward + backward).
+
+    With sequence parallelism the forward row-parallel GEMMs are followed by a
+    ReduceScatter, and the backward weight-gradient GEMMs are followed by a
+    ReduceScatter of the gradients -- the GEMM+RS pattern of Sec. 2.3.2.
+    AllGathers and the data-gradient GEMMs are not data-dependent on a single
+    preceding GEMM and stay in "others".
+    """
+    tp = parallelism.tp
+    hidden = model.hidden_size
+    inter = model.intermediate_size
+    ops: list[OperatorInstance] = []
+
+    forward = llm_inference_layer(model, tokens, parallelism, device, topology)
+    # Training uses ReduceScatter instead of AllReduce after the row-parallel GEMMs.
+    for op in forward:
+        if op.problem is not None:
+            ops.append(
+                OperatorInstance(
+                    name=op.name.replace("+AR", "+RS"),
+                    problem=op.problem.with_collective(CollectiveKind.REDUCE_SCATTER),
+                )
+            )
+        else:
+            ops.append(op)
+
+    # Backward data gradients: transposed GEMMs, no data-dependent collective.
+    ops.append(
+        OperatorInstance(
+            name="bwd-dgrad-gemms",
+            other_latency=(
+                _gemm_latency(GemmShape(tokens, hidden, hidden // tp), device)
+                + _gemm_latency(GemmShape(tokens, inter // tp, hidden), device)
+                + _gemm_latency(GemmShape(tokens, hidden, inter // tp), device)
+                + _gemm_latency(GemmShape(tokens, (hidden + 2 * model.kv_hidden) // tp, hidden), device)
+            ),
+        )
+    )
+    ops.append(
+        OperatorInstance(
+            name="bwd-attention",
+            other_latency=2.0 * _attention_latency(tokens, model, parallelism, device),
+        )
+    )
+    # Backward weight gradients followed by gradient ReduceScatter (FSDP-style).
+    ops.append(
+        OperatorInstance(
+            name="bwd-wgrad-out-proj+RS",
+            problem=OverlapProblem(
+                shape=GemmShape(hidden, hidden // tp, tokens),
+                device=device,
+                topology=topology,
+                collective=CollectiveKind.REDUCE_SCATTER,
+            ),
+        )
+    )
+    ops.append(
+        OperatorInstance(
+            name="bwd-wgrad-mlp-down+RS",
+            problem=OverlapProblem(
+                shape=GemmShape(inter // tp, hidden, tokens),
+                device=device,
+                topology=topology,
+                collective=CollectiveKind.REDUCE_SCATTER,
+            ),
+        )
+    )
+    ops.append(
+        OperatorInstance(
+            name="bwd-others(allgather, norms, optimizer)",
+            other_latency=_elementwise_latency(tokens * hidden, device, passes=10),
+        )
+    )
+    return ops

@@ -1,0 +1,131 @@
+"""Operator streams and end-to-end workload aggregation.
+
+A model forward (or forward+backward) pass is flattened into a list of
+:class:`OperatorInstance`:
+
+* operators with a ``problem`` are "GEMM + collective" pairs -- the overlap
+  targets; their latency depends on the execution method (non-overlap,
+  FlashOverlap, or one of the baselines);
+* operators with only ``other_latency`` are everything else (attention,
+  column-parallel GEMMs, norms, optimizer steps) and cost the same under every
+  method.
+
+:class:`EndToEndWorkload` aggregates a stream into the Fig. 4 latency-share
+breakdown and the Fig. 12 end-to-end speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.baselines import BaselineMethod, NonOverlapBaseline
+from repro.core.config import DEFAULT_SETTINGS, OverlapProblem, OverlapSettings
+from repro.core.overlap import FlashOverlapOperator
+
+
+@dataclass(frozen=True)
+class OperatorInstance:
+    """One operator occurrence in a model's execution stream."""
+
+    name: str
+    problem: OverlapProblem | None = None
+    other_latency: float = 0.0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if self.problem is None and self.other_latency <= 0:
+            raise ValueError(f"operator {self.name!r} has neither a problem nor a latency")
+        if self.other_latency < 0:
+            raise ValueError("other_latency must be non-negative")
+
+    @property
+    def is_overlap_target(self) -> bool:
+        return self.problem is not None
+
+    def pattern(self) -> str:
+        """Breakdown category: ``GEMM+AR`` / ``GEMM+RS`` / ``GEMM+A2A`` / ``others``."""
+        if self.problem is None:
+            return "others"
+        return f"GEMM+{self.problem.collective.short_name}"
+
+
+@dataclass
+class EndToEndWorkload:
+    """A named stream of operators (typically one layer, repeated)."""
+
+    name: str
+    operators: list[OperatorInstance]
+    layers: int = 1
+    settings: OverlapSettings = field(default_factory=lambda: DEFAULT_SETTINGS)
+
+    def __post_init__(self) -> None:
+        if self.layers < 1:
+            raise ValueError("layers must be >= 1")
+        self._latency_cache: dict[tuple[str, int], float] = {}
+
+    # -- per-operator latencies ---------------------------------------------------
+
+    def _overlap_latency(self, problem: OverlapProblem) -> float:
+        operator = FlashOverlapOperator(problem, self.settings)
+        return operator.simulate().latency
+
+    def _method_latency(self, op: OperatorInstance, method: BaselineMethod | str) -> float:
+        if op.problem is None:
+            return op.other_latency
+        key = (f"{op.name}|{method if isinstance(method, str) else method.name}", id(op))
+        if key in self._latency_cache:
+            return self._latency_cache[key]
+        if isinstance(method, str):
+            if method == "flashoverlap":
+                latency = self._overlap_latency(op.problem)
+            elif method == "non-overlap":
+                latency = NonOverlapBaseline(self.settings).latency(op.problem)
+            else:
+                raise ValueError(f"unknown method {method!r}")
+        else:
+            result = method.evaluate(op.problem)
+            latency = result.latency if result.supported else float("inf")
+        self._latency_cache[key] = latency
+        return latency
+
+    # -- aggregation ----------------------------------------------------------------
+
+    def total_latency(self, method: BaselineMethod | str = "non-overlap") -> float:
+        """End-to-end latency of the stream under one execution method."""
+        per_layer = sum(
+            self._method_latency(op, method) * op.count for op in self.operators
+        )
+        return per_layer * self.layers
+
+    def speedup(self, method: BaselineMethod | str = "flashoverlap") -> float:
+        """End-to-end speedup of ``method`` over the non-overlap execution."""
+        return self.total_latency("non-overlap") / self.total_latency(method)
+
+    def breakdown(self, method: BaselineMethod | str = "non-overlap") -> dict[str, float]:
+        """Latency share per pattern (Fig. 4): fractions summing to 1."""
+        totals: dict[str, float] = {}
+        for op in self.operators:
+            pattern = op.pattern()
+            totals[pattern] = totals.get(pattern, 0.0) + self._method_latency(op, method) * op.count
+        grand = sum(totals.values())
+        if grand <= 0:
+            return {k: 0.0 for k in totals}
+        return {k: v / grand for k, v in sorted(totals.items())}
+
+    def operator_speedups(self, method: BaselineMethod | str = "flashoverlap") -> dict[str, float]:
+        """Per overlap-target speedup (the "size 1"/"size 2" bars of Fig. 12)."""
+        speedups: dict[str, float] = {}
+        for op in self.operators:
+            if op.problem is None:
+                continue
+            non_overlap = self._method_latency(op, "non-overlap")
+            this = self._method_latency(op, method)
+            speedups[op.name] = non_overlap / this
+        return speedups
+
+    def overlap_target_fraction(self) -> float:
+        """Fraction of end-to-end time spent in "GEMM + collective" pairs."""
+        breakdown = self.breakdown()
+        return sum(v for k, v in breakdown.items() if k != "others")

@@ -1,0 +1,102 @@
+"""Shared fixtures: small, fast problem instances used across the test suite.
+
+The "small" devices and shapes keep the functional (NumPy) pipelines cheap
+while still exercising multiple waves, multiple groups, ragged tiles and every
+collective primitive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.primitives import CollectiveKind
+from repro.comm.topology import Topology, InterconnectKind, a800_nvlink, rtx4090_pcie
+from repro.core.config import OverlapProblem, OverlapSettings
+from repro.gpu.device import A800, RTX_4090, GPUSpec
+from repro.gpu.gemm import GemmShape, GemmTileConfig
+from repro.tensor.layout import TileLayout
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_device() -> GPUSpec:
+    """A made-up 8-SM device so that small matrices still span several waves."""
+    return GPUSpec(
+        name="tiny-gpu",
+        sm_count=8,
+        fp16_tflops=4.0,
+        hbm_bandwidth_gbps=200.0,
+        compute_efficiency=0.8,
+        kernel_launch_us=5.0,
+    )
+
+
+@pytest.fixture
+def tiny_topology() -> Topology:
+    """A 4-GPU PCIe-like topology with a small SM cost."""
+    return Topology(
+        name="tiny-pcie",
+        n_gpus=4,
+        kind=InterconnectKind.PCIE,
+        peak_bus_bandwidth_gbps=10.0,
+        base_latency_us=20.0,
+        half_saturation_mb=0.5,
+        comm_sm_count=2,
+        supports_p2p=False,
+    )
+
+
+@pytest.fixture
+def small_layout() -> TileLayout:
+    """A 4x6 tile grid of 8x8 tiles (uniform)."""
+    return TileLayout(m=32, n=48, tile_m=8, tile_n=8)
+
+
+@pytest.fixture
+def small_tile_config() -> GemmTileConfig:
+    return GemmTileConfig(tile_m=8, tile_n=8, tile_k=8, swizzle_size=2)
+
+
+@pytest.fixture
+def small_problem(tiny_device, tiny_topology, small_tile_config) -> OverlapProblem:
+    """A small AllReduce problem: 32x48 output, 24 tiles, 4 waves on 6 SMs."""
+    return OverlapProblem(
+        shape=GemmShape(m=32, n=48, k=64),
+        device=tiny_device,
+        topology=tiny_topology,
+        collective=CollectiveKind.ALL_REDUCE,
+        gemm_config=small_tile_config,
+    )
+
+
+@pytest.fixture
+def fast_settings() -> OverlapSettings:
+    """Settings with no stochastic jitter (deterministic tests)."""
+    return OverlapSettings(executor_jitter=0.0, bandwidth_profile_noise=0.0)
+
+
+@pytest.fixture
+def paper_problem_4090() -> OverlapProblem:
+    """A realistic RTX 4090 operator-level problem (used by slower tests)."""
+    return OverlapProblem(
+        shape=GemmShape(m=2048, n=8192, k=8192),
+        device=RTX_4090,
+        topology=rtx4090_pcie(4),
+        collective=CollectiveKind.ALL_REDUCE,
+    )
+
+
+@pytest.fixture
+def paper_problem_a800() -> OverlapProblem:
+    """A realistic A800 operator-level problem."""
+    return OverlapProblem(
+        shape=GemmShape(m=8192, n=8192, k=4096),
+        device=A800,
+        topology=a800_nvlink(4),
+        collective=CollectiveKind.REDUCE_SCATTER,
+    )

@@ -1,0 +1,113 @@
+"""Tests for the bandwidth curves (repro.comm.bandwidth, Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.bandwidth import (
+    AnalyticBandwidthCurve,
+    SampledBandwidthCurve,
+    default_sample_sizes,
+    sample_bandwidth,
+)
+from repro.comm.topology import a800_nvlink, rtx4090_pcie
+
+
+class TestAnalyticCurve:
+    @pytest.fixture
+    def curve(self):
+        return AnalyticBandwidthCurve.for_topology(rtx4090_pcie(4))
+
+    def test_bandwidth_monotonic_in_size(self, curve):
+        sizes = np.geomspace(1e4, 1e9, 30)
+        bws = [curve.bandwidth(s) for s in sizes]
+        assert all(b2 >= b1 for b1, b2 in zip(bws, bws[1:]))
+
+    def test_bandwidth_saturates_at_peak(self, curve):
+        assert curve.bandwidth(1 << 34) < curve.peak_bandwidth_bytes
+        assert curve.bandwidth(1 << 34) > 0.95 * curve.peak_bandwidth_bytes
+
+    def test_half_saturation_point(self, curve):
+        assert curve.utilization(curve.half_saturation_bytes) == pytest.approx(0.5)
+
+    def test_small_message_degradation(self, curve):
+        # Paper Sec. 3.2.2: a 192 KB tile achieves only ~13% of the bandwidth.
+        assert curve.utilization(192 * 1024) < 0.2
+
+    def test_zero_size(self, curve):
+        assert curve.bandwidth(0) == 0.0
+        assert curve.transfer_time(0) == 0.0
+
+    def test_transfer_time_is_affine(self, curve):
+        # (s + s_half) / peak: doubling size adds exactly s/peak.
+        t1 = curve.transfer_time(1 << 20)
+        t2 = curve.transfer_time(1 << 21)
+        assert t2 - t1 == pytest.approx((1 << 20) / curve.peak_bandwidth_bytes)
+
+    def test_knee_bytes(self, curve):
+        knee = curve.knee_bytes(0.8)
+        assert curve.utilization(knee) == pytest.approx(0.8)
+        with pytest.raises(ValueError):
+            curve.knee_bytes(1.5)
+
+    def test_nvlink_needs_larger_messages_to_saturate(self):
+        # A fast link amortises its per-transfer cost only with big messages,
+        # so the NVLink knee sits at a larger message size than the PCIe knee.
+        pcie = AnalyticBandwidthCurve.for_topology(rtx4090_pcie(4))
+        nvlink = AnalyticBandwidthCurve.for_topology(a800_nvlink(4))
+        assert nvlink.knee_bytes() > pcie.knee_bytes()
+
+
+class TestSampledCurve:
+    @pytest.fixture
+    def analytic(self):
+        return AnalyticBandwidthCurve.for_topology(a800_nvlink(4))
+
+    def test_sampling_without_noise_interpolates_exactly(self, analytic):
+        sampled = sample_bandwidth(analytic, noise=0.0)
+        for size in (1 << 20, 5 << 20, 123 << 20):
+            assert sampled.transfer_time(size) == pytest.approx(
+                analytic.transfer_time(size), rel=1e-6
+            )
+
+    def test_extrapolation_beyond_samples(self, analytic):
+        sampled = sample_bandwidth(analytic, noise=0.0)
+        big = float(sampled.sizes_bytes[-1] * 8)
+        assert sampled.transfer_time(big) == pytest.approx(analytic.transfer_time(big), rel=0.05)
+
+    def test_noise_changes_samples_deterministically(self, analytic):
+        a = sample_bandwidth(analytic, noise=0.05, seed=1)
+        b = sample_bandwidth(analytic, noise=0.05, seed=1)
+        c = sample_bandwidth(analytic, noise=0.05, seed=2)
+        np.testing.assert_array_equal(a.bandwidths_bytes, b.bandwidths_bytes)
+        assert not np.array_equal(a.bandwidths_bytes, c.bandwidths_bytes)
+
+    def test_invalid_samples_rejected(self):
+        with pytest.raises(ValueError):
+            SampledBandwidthCurve(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            SampledBandwidthCurve(np.array([2.0, 1.0]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            SampledBandwidthCurve(np.array([1.0, 2.0]), np.array([1.0, -1.0]))
+
+    def test_zero_size(self, analytic):
+        sampled = sample_bandwidth(analytic)
+        assert sampled.bandwidth(0) == 0.0
+
+
+class TestSampleSizes:
+    def test_default_sizes_are_log_spaced(self):
+        sizes = default_sample_sizes()
+        assert np.all(np.diff(sizes) > 0)
+        assert sizes[0] >= 64 * 1024
+        assert sizes[-1] <= (1 << 30) + 1
+
+    def test_points_per_decade(self):
+        dense = default_sample_sizes(points_per_decade=8)
+        sparse = default_sample_sizes(points_per_decade=2)
+        assert len(dense) > len(sparse)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            default_sample_sizes(min_bytes=0)
+        with pytest.raises(ValueError):
+            default_sample_sizes(min_bytes=100, max_bytes=50)

@@ -1,0 +1,151 @@
+"""Tests for the functional NumPy collectives (repro.comm.collectives)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.collectives import (
+    all_gather,
+    all_reduce,
+    all_to_all,
+    all_to_all_rows,
+    broadcast,
+    reduce_scatter,
+    reduce_scatter_flat,
+)
+
+
+@pytest.fixture
+def buffers(rng):
+    return [rng.standard_normal((8, 6)) for _ in range(4)]
+
+
+class TestAllReduce:
+    def test_every_rank_gets_the_sum(self, buffers):
+        results = all_reduce(buffers)
+        expected = sum(buffers)
+        assert len(results) == 4
+        for out in results:
+            np.testing.assert_allclose(out, expected)
+
+    def test_results_are_independent_copies(self, buffers):
+        results = all_reduce(buffers)
+        results[0][0, 0] = 42.0
+        assert results[1][0, 0] != 42.0
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            all_reduce([rng.standard_normal((2, 2)), rng.standard_normal((3, 2))])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            all_reduce([])
+
+
+class TestReduceScatter:
+    def test_row_split_semantics(self, buffers):
+        results = reduce_scatter(buffers)
+        expected = sum(buffers)
+        for rank, out in enumerate(results):
+            np.testing.assert_allclose(out, expected[rank * 2 : (rank + 1) * 2])
+
+    def test_indivisible_rows_rejected(self, rng):
+        bufs = [rng.standard_normal((7, 4)) for _ in range(4)]
+        with pytest.raises(ValueError):
+            reduce_scatter(bufs)
+
+    def test_flat_semantics(self, rng):
+        bufs = [rng.standard_normal(16) for _ in range(4)]
+        results = reduce_scatter_flat(bufs)
+        expected = sum(bufs)
+        for rank, out in enumerate(results):
+            np.testing.assert_allclose(out, expected[rank * 4 : (rank + 1) * 4])
+
+    def test_flat_indivisible_rejected(self, rng):
+        with pytest.raises(ValueError):
+            reduce_scatter_flat([rng.standard_normal(10) for _ in range(4)])
+
+    def test_reduce_scatter_then_all_gather_is_all_reduce(self, buffers):
+        shards = reduce_scatter(buffers)
+        gathered = all_gather(shards)
+        reduced = all_reduce(buffers)
+        for a, b in zip(gathered, reduced):
+            np.testing.assert_allclose(a, b)
+
+
+class TestAllGather:
+    def test_concatenation(self, rng):
+        chunks = [rng.standard_normal((2, 3)) for _ in range(3)]
+        results = all_gather(chunks)
+        expected = np.concatenate(chunks, axis=0)
+        for out in results:
+            np.testing.assert_allclose(out, expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            all_gather([])
+
+
+class TestAllToAll:
+    def test_transpose_semantics(self, rng):
+        n = 3
+        send = [[rng.standard_normal(4) + 10 * src + dst for dst in range(n)] for src in range(n)]
+        recv = all_to_all(send)
+        for dst in range(n):
+            for src in range(n):
+                np.testing.assert_allclose(recv[dst][src], send[src][dst])
+
+    def test_uneven_buffer_sizes(self, rng):
+        send = [
+            [rng.standard_normal(i + j + 1) for j in range(2)] for i in range(2)
+        ]
+        recv = all_to_all(send)
+        assert recv[0][1].size == send[1][0].size
+
+    def test_wrong_row_length_rejected(self, rng):
+        with pytest.raises(ValueError):
+            all_to_all([[rng.standard_normal(2)], [rng.standard_normal(2), rng.standard_normal(2)]])
+
+
+class TestAllToAllRows:
+    def test_tokens_arrive_at_destination(self, rng):
+        n = 3
+        buffers = [rng.standard_normal((6, 4)) for _ in range(n)]
+        destinations = [np.array([0, 1, 2, 0, 1, 2]) for _ in range(n)]
+        received = all_to_all_rows(buffers, destinations)
+        # Each destination receives 2 tokens from each source, in source order.
+        for dst in range(n):
+            assert received[dst].shape == (6, 4)
+            expected = np.concatenate(
+                [buffers[src][destinations[src] == dst] for src in range(n)], axis=0
+            )
+            np.testing.assert_allclose(received[dst], expected)
+
+    def test_total_token_count_preserved(self, rng):
+        n = 4
+        buffers = [rng.standard_normal((10, 2)) for _ in range(n)]
+        destinations = [rng.integers(0, n, size=10) for _ in range(n)]
+        received = all_to_all_rows(buffers, destinations)
+        assert sum(r.shape[0] for r in received) == n * 10
+
+    def test_destination_out_of_range(self, rng):
+        with pytest.raises(ValueError):
+            all_to_all_rows([rng.standard_normal((2, 2))], [np.array([0, 5])])
+
+    def test_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError):
+            all_to_all_rows([rng.standard_normal((2, 2))], [np.array([0]), np.array([0])])
+
+    def test_destination_count_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            all_to_all_rows([rng.standard_normal((3, 2))], [np.array([0, 0])])
+
+
+class TestBroadcast:
+    def test_broadcast_from_root(self, buffers):
+        results = broadcast(buffers, root=2)
+        for out in results:
+            np.testing.assert_allclose(out, buffers[2])
+
+    def test_invalid_root(self, buffers):
+        with pytest.raises(IndexError):
+            broadcast(buffers, root=9)

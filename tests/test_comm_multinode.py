@@ -1,0 +1,63 @@
+"""Tests for the multi-node (inter-node InfiniBand) topology."""
+
+import pytest
+
+from repro.comm.primitives import CollectiveKind, CollectiveModel
+from repro.comm.topology import InterconnectKind, a800_nvlink, known_topologies, multinode_a800
+from repro.core.config import OverlapProblem, OverlapSettings
+from repro.core.overlap import FlashOverlapOperator
+from repro.gpu.device import A800
+from repro.gpu.gemm import GemmShape
+
+
+class TestMultinodeTopology:
+    def test_basic_properties(self):
+        topo = multinode_a800(n_nodes=2, gpus_per_node=8)
+        assert topo.n_gpus == 16
+        assert topo.kind is InterconnectKind.INFINIBAND
+        assert not topo.intra_node
+        assert not topo.supports_p2p
+
+    def test_slower_than_intra_node_nvlink(self):
+        inter = multinode_a800(2, 8)
+        intra = a800_nvlink(8)
+        assert inter.peak_bus_bandwidth_gbps < intra.peak_bus_bandwidth_gbps / 2
+        assert inter.base_latency_us > intra.base_latency_us
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            multinode_a800(n_nodes=1)
+        with pytest.raises(ValueError):
+            multinode_a800(n_nodes=2, gpus_per_node=0)
+
+    def test_registered_in_known_topologies(self):
+        assert "a800-2node-ib" in known_topologies()
+
+    def test_collective_latency_scales_with_size(self):
+        model = CollectiveModel(CollectiveKind.ALL_REDUCE, multinode_a800(2, 8))
+        assert model.latency(256 << 20) > model.latency(16 << 20) > 0
+
+    def test_overlap_still_pays_off_across_nodes(self):
+        # Inter-node communication is slow, so hiding it behind the GEMM is
+        # even more valuable than inside a node.
+        settings = OverlapSettings(executor_jitter=0.0, bandwidth_profile_noise=0.0)
+        problem = OverlapProblem(
+            shape=GemmShape(8192, 8192, 8192),
+            device=A800,
+            topology=multinode_a800(2, 8),
+            collective=CollectiveKind.REDUCE_SCATTER,
+        )
+        report = FlashOverlapOperator(problem, settings).report()
+        assert report.speedup > 1.05
+
+    def test_p2p_baselines_unsupported_across_nodes(self):
+        from repro.core.baselines import AsyncTPBaseline, FluxFusionBaseline
+
+        problem = OverlapProblem(
+            shape=GemmShape(8192, 8192, 8192),
+            device=A800,
+            topology=multinode_a800(2, 8),
+            collective=CollectiveKind.REDUCE_SCATTER,
+        )
+        assert not AsyncTPBaseline().supports(problem)
+        assert not FluxFusionBaseline().supports(problem)

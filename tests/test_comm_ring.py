@@ -1,0 +1,86 @@
+"""Tests for the ring collectives (repro.comm.ring)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.collectives import all_gather, all_reduce, reduce_scatter_flat
+from repro.comm.ring import ring_all_gather, ring_all_reduce, ring_reduce_scatter
+
+
+@pytest.fixture(params=[2, 3, 4, 8])
+def n_ranks(request):
+    return request.param
+
+
+class TestRingReduceScatter:
+    def test_matches_direct_reduce_scatter(self, rng, n_ranks):
+        size = n_ranks * 6
+        buffers = [rng.standard_normal(size) for _ in range(n_ranks)]
+        ring_result, _ = ring_reduce_scatter(buffers)
+        direct = reduce_scatter_flat(buffers)
+        for a, b in zip(ring_result, direct):
+            np.testing.assert_allclose(a, b)
+
+    def test_traffic_matches_ring_bound(self, rng, n_ranks):
+        size = n_ranks * 8
+        buffers = [rng.standard_normal(size) for _ in range(n_ranks)]
+        _, report = ring_reduce_scatter(buffers)
+        expected = (n_ranks - 1) / n_ranks * size
+        assert report.volume_factor(size) == pytest.approx(expected / size)
+
+    def test_uneven_chunks_still_correct(self, rng):
+        buffers = [rng.standard_normal(10) for _ in range(3)]
+        ring_result, _ = ring_reduce_scatter(buffers)
+        total = sum(buffers)
+        # np.array_split boundaries: 4, 3, 3.
+        np.testing.assert_allclose(ring_result[0], total[:4])
+        np.testing.assert_allclose(ring_result[1], total[4:7])
+        np.testing.assert_allclose(ring_result[2], total[7:])
+
+    def test_mismatched_sizes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ring_reduce_scatter([rng.standard_normal(4), rng.standard_normal(5)])
+
+
+class TestRingAllGather:
+    def test_matches_direct_all_gather(self, rng, n_ranks):
+        chunks = [rng.standard_normal(5) for _ in range(n_ranks)]
+        ring_result, _ = ring_all_gather(chunks)
+        direct = all_gather(chunks)
+        for a, b in zip(ring_result, direct):
+            np.testing.assert_allclose(a, np.asarray(b).ravel())
+
+    def test_traffic_matches_ring_bound(self, rng, n_ranks):
+        chunks = [rng.standard_normal(7) for _ in range(n_ranks)]
+        _, report = ring_all_gather(chunks)
+        total = 7 * n_ranks
+        assert report.elements_sent_per_rank == pytest.approx((n_ranks - 1) / n_ranks * total)
+
+
+class TestRingAllReduce:
+    def test_matches_direct_all_reduce(self, rng, n_ranks):
+        buffers = [rng.standard_normal((4, n_ranks)) for _ in range(n_ranks)]
+        ring_result, _ = ring_all_reduce(buffers)
+        direct = all_reduce(buffers)
+        for a, b in zip(ring_result, direct):
+            np.testing.assert_allclose(a, b)
+
+    def test_volume_factor_is_twice_reduce_scatter(self, rng, n_ranks):
+        size = n_ranks * 4
+        buffers = [rng.standard_normal(size) for _ in range(n_ranks)]
+        _, report = ring_all_reduce(buffers)
+        expected_factor = 2.0 * (n_ranks - 1) / n_ranks
+        assert report.volume_factor(size) == pytest.approx(expected_factor)
+        assert report.steps == 2 * (n_ranks - 1)
+
+    def test_single_rank_degenerates(self, rng):
+        buffers = [rng.standard_normal(6)]
+        result, report = ring_all_reduce(buffers)
+        np.testing.assert_allclose(result[0], buffers[0])
+        assert report.elements_sent_per_rank == 0.0
+
+    def test_combine_rejects_rank_mismatch(self, rng):
+        _, r2 = ring_all_reduce([rng.standard_normal(4) for _ in range(2)])
+        _, r3 = ring_all_reduce([rng.standard_normal(6) for _ in range(3)])
+        with pytest.raises(ValueError):
+            r2.combine(r3)

@@ -1,0 +1,68 @@
+"""Tests for interconnect topologies (repro.comm.topology)."""
+
+import pytest
+
+from repro.comm.topology import (
+    InterconnectKind,
+    Topology,
+    a800_nvlink,
+    ascend_hccs,
+    known_topologies,
+    rtx4090_pcie,
+)
+
+
+class TestTopology:
+    def test_unit_conversions(self):
+        topo = rtx4090_pcie(2)
+        assert topo.peak_bus_bandwidth_bytes == pytest.approx(topo.peak_bus_bandwidth_gbps * 1e9)
+        assert topo.base_latency_s == pytest.approx(topo.base_latency_us * 1e-6)
+        assert topo.half_saturation_bytes == pytest.approx(topo.half_saturation_mb * 1024 * 1024)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Topology("x", 1, InterconnectKind.PCIE, 10.0, 1.0, 1.0, 2, False)
+        with pytest.raises(ValueError):
+            Topology("x", 2, InterconnectKind.PCIE, 0.0, 1.0, 1.0, 2, False)
+        with pytest.raises(ValueError):
+            Topology("x", 2, InterconnectKind.PCIE, 10.0, -1.0, 1.0, 2, False)
+        with pytest.raises(ValueError):
+            Topology("x", 2, InterconnectKind.PCIE, 10.0, 1.0, 1.0, -2, False)
+
+    def test_scaling_to_more_gpus_reduces_bandwidth(self):
+        two = rtx4090_pcie(2)
+        eight = rtx4090_pcie(8)
+        assert eight.n_gpus == 8
+        assert eight.peak_bus_bandwidth_gbps < two.peak_bus_bandwidth_gbps
+        assert eight.base_latency_us >= two.base_latency_us
+
+    def test_scaling_preserves_p2p_and_kind(self):
+        topo = a800_nvlink(8)
+        assert topo.supports_p2p
+        assert topo.kind is InterconnectKind.NVLINK_PAIRWISE
+
+    def test_with_n_gpus_invalid(self):
+        with pytest.raises(ValueError):
+            rtx4090_pcie(2).with_n_gpus(1)
+
+
+class TestPresets:
+    def test_pcie_has_no_p2p(self):
+        assert not rtx4090_pcie(4).supports_p2p
+
+    def test_nvlink_much_faster_than_pcie(self):
+        assert a800_nvlink(4).peak_bus_bandwidth_gbps > 5 * rtx4090_pcie(4).peak_bus_bandwidth_gbps
+
+    def test_ascend_preset(self):
+        topo = ascend_hccs(4)
+        assert topo.kind is InterconnectKind.HCCS
+        assert topo.n_gpus == 4
+
+    def test_known_topologies(self):
+        names = set(known_topologies())
+        assert {"rtx4090-pcie", "a800-nvlink", "ascend910b-hccs", "a800-2node-ib"} <= names
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_all_paper_gpu_counts_supported(self, n):
+        for builder in (rtx4090_pcie, a800_nvlink, ascend_hccs):
+            assert builder(n).n_gpus == n

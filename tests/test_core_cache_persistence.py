@@ -1,0 +1,72 @@
+"""Tests for shape-cache persistence (repro.core.tuner JSON round trip)."""
+
+import pytest
+
+from repro.core.config import OverlapSettings
+from repro.core.tuner import GemmShapeCache, PredictiveTuner, TuningResult
+from repro.core.wave_grouping import WavePartition
+from repro.gpu.gemm import GemmShape
+
+
+@pytest.fixture
+def settings():
+    return OverlapSettings(executor_jitter=0.0, bandwidth_profile_noise=0.0)
+
+
+@pytest.fixture
+def populated_cache(paper_problem_4090, settings):
+    cache = GemmShapeCache()
+    tuner = PredictiveTuner(settings)
+    cache.lookup_or_tune(paper_problem_4090, tuner)
+    cache.add(
+        GemmShape(1024, 1024, 1024),
+        TuningResult(
+            partition=WavePartition((2, 3)),
+            predicted_latency=1.5e-3,
+            candidates_evaluated=7,
+            method="predictive",
+            use_overlap=False,
+        ),
+    )
+    return cache
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_entries(self, populated_cache):
+        restored = GemmShapeCache.from_json(populated_cache.to_json())
+        assert len(restored) == len(populated_cache)
+        for original, loaded in zip(populated_cache.entries, restored.entries):
+            assert loaded.shape == original.shape
+            assert loaded.result.partition == original.result.partition
+            assert loaded.result.use_overlap == original.result.use_overlap
+            assert loaded.result.method == original.result.method
+            assert loaded.result.predicted_latency == pytest.approx(
+                original.result.predicted_latency
+            )
+
+    def test_json_is_human_readable(self, populated_cache):
+        text = populated_cache.to_json()
+        assert '"group_sizes"' in text
+        assert '"m"' in text
+
+    def test_empty_cache_round_trip(self):
+        assert len(GemmShapeCache.from_json(GemmShapeCache().to_json())) == 0
+
+
+class TestFilePersistence:
+    def test_save_and_load(self, populated_cache, tmp_path):
+        path = tmp_path / "tuning_cache.json"
+        populated_cache.save(path)
+        loaded = GemmShapeCache.load(path)
+        assert len(loaded) == len(populated_cache)
+
+    def test_loaded_cache_serves_lookups(self, populated_cache, paper_problem_4090, settings, tmp_path):
+        path = tmp_path / "cache.json"
+        populated_cache.save(path)
+        loaded = GemmShapeCache.load(path)
+        tuner = PredictiveTuner(settings)
+        before = len(loaded)
+        result = loaded.lookup_or_tune(paper_problem_4090, tuner)
+        # The cached entry is reused; no new entry is added.
+        assert len(loaded) == before
+        assert result.partition == populated_cache.entries[0].result.partition

@@ -1,0 +1,115 @@
+"""Tests for the high-level FlashOverlapOperator (repro.core.overlap)."""
+
+import pytest
+
+from repro.comm.primitives import CollectiveKind
+from repro.core.config import OverlapProblem
+from repro.core.overlap import FlashOverlapOperator
+from repro.core.wave_grouping import WavePartition
+from repro.gpu.gemm import GemmShape
+
+
+@pytest.fixture
+def operator(small_problem, fast_settings):
+    return FlashOverlapOperator(small_problem, fast_settings)
+
+
+@pytest.fixture
+def paper_operator(paper_problem_4090, fast_settings):
+    return FlashOverlapOperator(paper_problem_4090, fast_settings)
+
+
+class TestPlanning:
+    def test_plan_covers_all_tiles(self, operator):
+        plan = operator.plan()
+        plan.reorder_plan.validate()
+        assert plan.partition.num_waves == operator.executor.num_waves()
+        assert plan.num_groups == plan.partition.num_groups
+
+    def test_plan_is_cached_for_tuned_partition(self, operator):
+        assert operator.plan() is operator.plan()
+
+    def test_explicit_partition_not_cached(self, operator):
+        explicit = operator.plan(WavePartition.single_group(operator.executor.num_waves()))
+        assert explicit.tuning is None
+        assert explicit is not operator.plan()
+
+    def test_plan_describe(self, paper_operator):
+        text = paper_operator.plan().describe()
+        assert "waves" in text
+
+    def test_tuned_plan_records_tuning(self, paper_operator):
+        plan = paper_operator.plan()
+        assert plan.tuning is not None
+        assert plan.tuning.partition == plan.partition
+
+
+class TestPerformance:
+    def test_report_fields_consistent(self, paper_operator):
+        report = paper_operator.report()
+        assert report.overlap_latency < report.non_overlap_latency
+        assert report.theoretical_latency <= report.non_overlap_latency
+        assert report.speedup > 1.0
+        assert report.speedup == pytest.approx(
+            report.non_overlap_latency / report.overlap_latency
+        )
+        assert 0 < report.ratio_of_theoretical <= 1.1
+
+    def test_speedup_in_paper_range(self, paper_operator):
+        # Operator-level speedups in the paper stay within (1.0, 1.65].
+        assert 1.0 < paper_operator.speedup() < 1.75
+
+    def test_misconfigured_partition_is_slower(self, paper_operator):
+        tuned = paper_operator.simulate().latency
+        waves = paper_operator.executor.num_waves()
+        misconfigured = paper_operator.simulate(
+            paper_operator.plan(WavePartition.single_group(waves))
+        ).latency
+        assert tuned <= misconfigured
+
+    def test_sequential_fallback_used_when_overlap_hurts(self, fast_settings):
+        # Tiny communication + heavy SM contention: the tuner should fall back.
+        from repro.comm.topology import a800_nvlink
+        from repro.gpu.device import A800
+
+        problem = OverlapProblem(
+            shape=GemmShape(4096, 4096, 16384),
+            device=A800,
+            topology=a800_nvlink(2),
+            collective=CollectiveKind.REDUCE_SCATTER,
+        )
+        operator = FlashOverlapOperator(problem, fast_settings)
+        report = operator.report()
+        # Whether or not the fallback triggers, FlashOverlap never loses more
+        # than the modeling noise against the sequential execution.
+        assert report.speedup > 0.97
+
+    def test_simulate_accepts_explicit_plan(self, paper_operator):
+        plan = paper_operator.plan(WavePartition.equal_groups(paper_operator.executor.num_waves(), 2))
+        result = paper_operator.simulate(plan)
+        assert result.partition == plan.partition
+
+
+class TestNumericCorrectness:
+    def test_allreduce_numeric(self, operator):
+        result = operator.run_numeric()
+        assert result.allclose()
+
+    def test_allreduce_numeric_with_real_gemm(self, operator):
+        result = operator.run_numeric(compute_gemm=True)
+        assert result.allclose()
+
+    def test_reduce_scatter_numeric(self, small_problem, fast_settings):
+        problem = small_problem.with_collective(CollectiveKind.REDUCE_SCATTER)
+        operator = FlashOverlapOperator(problem, fast_settings)
+        assert operator.run_numeric().allclose()
+
+    def test_all_to_all_numeric(self, small_problem, fast_settings):
+        problem = small_problem.with_collective(CollectiveKind.ALL_TO_ALL)
+        operator = FlashOverlapOperator(problem, fast_settings)
+        assert operator.run_numeric().allclose()
+
+    def test_numeric_deterministic_with_seed(self, operator):
+        a = operator.run_numeric()
+        b = operator.run_numeric()
+        assert a.max_abs_error() == b.max_abs_error()

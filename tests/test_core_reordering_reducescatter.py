@@ -1,0 +1,97 @@
+"""Correctness of the ReduceScatter reordering pipeline (sub-tile unit)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.primitives import CollectiveKind
+from repro.core.reordering import build_reorder_plan, run_reduce_scatter_pipeline
+from repro.core.signaling import GroupAssignment
+from repro.core.wave_grouping import WavePartition
+from repro.gpu.epilogue import rmsnorm
+from repro.gpu.swizzle import swizzled_order, wave_partition
+from repro.tensor.layout import TileLayout
+
+
+def make_plan(layout, partition, n_gpus, swizzle=2, wave_size=6):
+    order = swizzled_order(layout, swizzle)
+    waves = wave_partition(order, wave_size)
+    groups = partition.group_tiles(waves)
+    plan = build_reorder_plan(CollectiveKind.REDUCE_SCATTER, layout, groups, n_gpus)
+    assignment = GroupAssignment.build(partition, waves)
+    return plan, assignment, order
+
+
+class TestReduceScatterPipeline:
+    @pytest.mark.parametrize("partition_sizes", [(4,), (1, 1, 1, 1), (1, 3), (2, 2)])
+    def test_identity_elementwise_matches_reference(self, rng, small_layout, partition_sizes):
+        partition = WavePartition(partition_sizes)
+        plan, assignment, order = make_plan(small_layout, partition, n_gpus=4)
+        matrices = [rng.standard_normal((32, 48)) for _ in range(4)]
+        result = run_reduce_scatter_pipeline(
+            matrices, plan, elementwise=None, assignment=assignment, execution_order=order
+        )
+        assert result.allclose()
+
+    @pytest.mark.parametrize("n_gpus", [2, 4, 8])
+    def test_rmsnorm_between_rs_and_allgather(self, rng, small_layout, n_gpus):
+        partition = WavePartition((2, 2))
+        plan, assignment, order = make_plan(small_layout, partition, n_gpus=n_gpus)
+        matrices = [rng.standard_normal((32, 48)) for _ in range(n_gpus)]
+        result = run_reduce_scatter_pipeline(
+            matrices, plan, elementwise=rmsnorm, assignment=assignment, execution_order=order
+        )
+        assert result.allclose()
+
+    def test_each_row_complete_on_exactly_one_gpu(self, rng, small_layout):
+        # The property that lets the element-wise operator run before AllGather.
+        partition = WavePartition((1, 1, 2))
+        plan, assignment, order = make_plan(small_layout, partition, n_gpus=4)
+        matrices = [rng.standard_normal((32, 48)) for _ in range(4)]
+        result = run_reduce_scatter_pipeline(matrices, plan)
+        owned_rows = result.extras["owned_rows"]
+        all_rows = sorted(r for rows in owned_rows for r in rows)
+        assert all_rows == list(range(32))
+        # Block-cyclic assignment: row r goes to GPU (r % tile_m) // (tile_m / n).
+        for gpu, rows in enumerate(owned_rows):
+            for r in rows:
+                assert (r % 8) // 2 == gpu
+
+    def test_pre_allgather_shards_match_reference_rows(self, rng, small_layout):
+        partition = WavePartition((2, 2))
+        plan, _, _ = make_plan(small_layout, partition, n_gpus=4)
+        matrices = [rng.standard_normal((32, 48)) for _ in range(4)]
+        result = run_reduce_scatter_pipeline(matrices, plan, elementwise=rmsnorm)
+        reference = result.reference[0]
+        for rows, shard in zip(result.extras["owned_rows"], result.extras["pre_allgather_shards"]):
+            np.testing.assert_allclose(shard, reference[rows, :])
+
+    def test_larger_uniform_layout(self, rng):
+        layout = TileLayout(m=64, n=64, tile_m=16, tile_n=16)
+        order = swizzled_order(layout, 3)
+        waves = wave_partition(order, 5)
+        partition = WavePartition.from_sizes([1] * (len(waves) - 2) + [2])
+        groups = partition.group_tiles(waves)
+        plan = build_reorder_plan(CollectiveKind.REDUCE_SCATTER, layout, groups, 4)
+        matrices = [rng.standard_normal((64, 64)) for _ in range(4)]
+        result = run_reduce_scatter_pipeline(matrices, plan, elementwise=rmsnorm)
+        assert result.allclose()
+
+    def test_wrong_gpu_count_rejected(self, rng, small_layout):
+        partition = WavePartition((4,))
+        plan, _, _ = make_plan(small_layout, partition, n_gpus=4)
+        with pytest.raises(ValueError):
+            run_reduce_scatter_pipeline([rng.standard_normal((32, 48))] * 3, plan)
+
+    def test_ragged_layout_rejected(self, rng):
+        layout = TileLayout(m=30, n=44, tile_m=8, tile_n=8)
+        groups = [list(range(layout.num_tiles))]
+        plan = build_reorder_plan(CollectiveKind.REDUCE_SCATTER, layout, groups, 4)
+        with pytest.raises(ValueError):
+            run_reduce_scatter_pipeline([rng.standard_normal((30, 44))] * 4, plan)
+
+    def test_indivisible_tile_rows_rejected(self, rng):
+        layout = TileLayout(m=36, n=48, tile_m=6, tile_n=8)
+        groups = [list(range(layout.num_tiles))]
+        plan = build_reorder_plan(CollectiveKind.REDUCE_SCATTER, layout, groups, 4)
+        with pytest.raises(ValueError):
+            run_reduce_scatter_pipeline([rng.standard_normal((36, 48))] * 4, plan)

@@ -1,0 +1,102 @@
+"""Tests for the signaling mechanism (repro.core.signaling)."""
+
+import numpy as np
+import pytest
+
+from repro.core.signaling import (
+    CountingTable,
+    GroupAssignment,
+    SignalOrderError,
+    SignalSchedule,
+)
+from repro.core.wave_grouping import WavePartition
+
+
+@pytest.fixture
+def wave_tiles():
+    # 3 waves of 2 tiles each, swizzled order as in Fig. 6.
+    return [[0, 2], [4, 1], [3, 5]]
+
+
+@pytest.fixture
+def assignment(wave_tiles):
+    return GroupAssignment.build(WavePartition((1, 2)), wave_tiles)
+
+
+class TestCountingTable:
+    def test_fires_exactly_when_group_completes(self):
+        table = CountingTable(group_sizes=(2, 4))
+        assert table.record_tile(0) is False
+        assert table.record_tile(0) is True
+        assert table.is_complete(0)
+        for _ in range(3):
+            assert table.record_tile(1) is False
+        assert table.record_tile(1) is True
+        assert table.all_complete()
+
+    def test_overcounting_rejected(self):
+        table = CountingTable(group_sizes=(1,))
+        table.record_tile(0)
+        with pytest.raises(SignalOrderError):
+            table.record_tile(0)
+
+    def test_invalid_group_index(self):
+        table = CountingTable(group_sizes=(1, 1))
+        with pytest.raises(IndexError):
+            table.record_tile(2)
+
+    def test_assert_ready(self):
+        table = CountingTable(group_sizes=(2,))
+        with pytest.raises(SignalOrderError):
+            table.assert_ready(0)
+        table.record_tile(0)
+        table.record_tile(0)
+        table.assert_ready(0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            CountingTable(group_sizes=())
+        with pytest.raises(ValueError):
+            CountingTable(group_sizes=(0,))
+
+
+class TestGroupAssignment:
+    def test_groups_follow_wave_partition(self, assignment):
+        assert assignment.num_groups == 2
+        assert assignment.tiles_of(0) == (0, 2)
+        assert assignment.tiles_of(1) == (4, 1, 3, 5)
+        assert assignment.group_tile_counts() == (2, 4)
+
+    def test_group_of_tile(self, assignment):
+        assert assignment.group_of_tile[0] == 0
+        assert assignment.group_of_tile[5] == 1
+
+    def test_duplicate_tile_rejected(self):
+        with pytest.raises(ValueError):
+            GroupAssignment.build(WavePartition((1, 1)), [[0, 1], [1, 2]])
+
+    def test_counting_table_sizes(self, assignment):
+        table = assignment.counting_table()
+        assert table.group_sizes == (2, 4)
+
+
+class TestSignalSchedule:
+    def test_ready_time_is_last_tile_of_group(self, assignment):
+        times = np.array([1.0, 2.5, 1.2, 3.0, 2.0, 2.8])
+        schedule = SignalSchedule.from_tile_times(assignment, times, signal_latency=0.1)
+        assert schedule.ready_time(0) == pytest.approx(1.2 + 0.1)
+        assert schedule.ready_time(1) == pytest.approx(3.0 + 0.1)
+        assert schedule.is_monotonic()
+
+    def test_wave_order_gives_monotonic_signals(self, wave_tiles):
+        partition = WavePartition.per_wave(3)
+        assignment = GroupAssignment.build(partition, wave_tiles)
+        times = np.array([1.0, 2.0, 1.0, 3.0, 2.0, 3.0])
+        schedule = SignalSchedule.from_tile_times(assignment, times)
+        np.testing.assert_allclose(schedule.group_ready_times, [1.0, 2.0, 3.0])
+
+    def test_replay_counts_every_tile(self, assignment):
+        # All tiles present, arbitrary completion order: every group fires.
+        times = np.arange(6, dtype=float)[::-1]
+        schedule = SignalSchedule.from_tile_times(assignment, times)
+        assert not np.isnan(schedule.group_ready_times).any()

@@ -1,0 +1,94 @@
+"""Tests for the discrete-event engine (repro.sim.engine)."""
+
+import pytest
+
+from repro.sim.engine import EventEngine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = EventEngine()
+        log = []
+        engine.schedule(3.0, log.append, "c")
+        engine.schedule(1.0, log.append, "a")
+        engine.schedule(2.0, log.append, "b")
+        engine.run()
+        assert log == ["a", "b", "c"]
+        assert engine.now == 3.0
+        assert engine.processed_events == 3
+
+    def test_fifo_among_equal_times(self):
+        engine = EventEngine()
+        log = []
+        for name in "abc":
+            engine.schedule(1.0, log.append, name)
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_schedule_after(self):
+        engine = EventEngine()
+        times = []
+        engine.schedule(1.0, lambda: engine.schedule_after(0.5, lambda: times.append(engine.now)))
+        engine.run()
+        assert times == [1.5]
+
+    def test_scheduling_in_the_past_rejected(self):
+        engine = EventEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule(0.5, lambda: None)
+        with pytest.raises(ValueError):
+            engine.schedule_after(-1.0, lambda: None)
+
+    def test_callbacks_can_chain_events(self):
+        engine = EventEngine()
+        hits = []
+
+        def tick(remaining):
+            hits.append(engine.now)
+            if remaining > 0:
+                engine.schedule_after(1.0, tick, remaining - 1)
+
+        engine.schedule(0.0, tick, 3)
+        engine.run()
+        assert hits == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestControl:
+    def test_run_until_stops_early(self):
+        engine = EventEngine()
+        log = []
+        engine.schedule(1.0, log.append, 1)
+        engine.schedule(5.0, log.append, 5)
+        engine.run(until=2.0)
+        assert log == [1]
+        assert engine.pending_events == 1
+        engine.run()
+        assert log == [1, 5]
+
+    def test_max_events_limit(self):
+        engine = EventEngine()
+        log = []
+        for t in range(5):
+            engine.schedule(float(t), log.append, t)
+        engine.run(max_events=2)
+        assert log == [0, 1]
+
+    def test_cancel_skips_event(self):
+        engine = EventEngine()
+        log = []
+        handle = engine.schedule(1.0, log.append, "x")
+        engine.schedule(2.0, log.append, "y")
+        engine.cancel(handle)
+        engine.run()
+        assert log == ["y"]
+
+    def test_reset(self):
+        engine = EventEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        engine.reset()
+        assert engine.now == 0.0
+        assert engine.pending_events == 0
+        assert engine.processed_events == 0

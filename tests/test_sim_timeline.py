@@ -1,0 +1,80 @@
+"""Tests for the stream-ordered timeline builder (repro.sim.timeline)."""
+
+import pytest
+
+from repro.gpu.kernels import KernelCategory, KernelLaunch
+from repro.sim.timeline import StreamTimeline
+
+
+def kernel(name, duration):
+    return KernelLaunch(name=name, duration=duration)
+
+
+class TestEnqueue:
+    def test_in_order_execution_on_one_stream(self):
+        timeline = StreamTimeline()
+        a = timeline.enqueue("s", kernel("a", 2.0))
+        b = timeline.enqueue("s", kernel("b", 3.0))
+        assert (a.start, a.end) == (0.0, 2.0)
+        assert (b.start, b.end) == (2.0, 5.0)
+        assert timeline.makespan() == 5.0
+
+    def test_streams_are_independent(self):
+        timeline = StreamTimeline()
+        timeline.enqueue("x", kernel("a", 5.0))
+        b = timeline.enqueue("y", kernel("b", 1.0))
+        assert b.start == 0.0
+
+    def test_cross_stream_dependency(self):
+        timeline = StreamTimeline()
+        timeline.enqueue("compute", kernel("gemm", 4.0))
+        comm = timeline.enqueue("comm", kernel("ar", 2.0), not_before=4.0)
+        assert comm.start == 4.0
+        assert comm.end == 6.0
+
+    def test_dependency_does_not_move_busy_stream_backwards(self):
+        timeline = StreamTimeline()
+        timeline.enqueue("comm", kernel("first", 10.0))
+        second = timeline.enqueue("comm", kernel("second", 1.0), not_before=3.0)
+        assert second.start == 10.0
+
+    def test_launch_overhead_applied(self):
+        timeline = StreamTimeline(launch_overhead=0.5)
+        a = timeline.enqueue("s", kernel("a", 1.0))
+        b = timeline.enqueue("s", kernel("b", 1.0), pay_launch_overhead=False)
+        assert a.start == 0.5
+        assert b.start == a.end
+
+    def test_run_sequence(self):
+        timeline = StreamTimeline()
+        spans = timeline.run_sequence("s", [kernel("a", 1.0), kernel("b", 2.0)], not_before=5.0)
+        assert spans[0].start == 5.0
+        assert spans[1].start == 6.0
+
+
+class TestQueries:
+    def test_barrier(self):
+        timeline = StreamTimeline()
+        timeline.enqueue("x", kernel("a", 3.0))
+        timeline.enqueue("y", kernel("b", 7.0))
+        assert timeline.barrier(["x"]) == 3.0
+        assert timeline.barrier() == 7.0
+        assert StreamTimeline().barrier() == 0.0
+
+    def test_idle_time(self):
+        timeline = StreamTimeline()
+        timeline.enqueue("compute", kernel("gemm", 10.0))
+        timeline.enqueue("comm", kernel("ar", 2.0), not_before=8.0)
+        assert timeline.idle_time("comm") == pytest.approx(8.0)
+
+    def test_marker_has_zero_duration(self):
+        timeline = StreamTimeline()
+        span = timeline.record_marker("comm", "signal-g1", 2.5)
+        assert span.duration == 0.0
+        assert span.category is KernelCategory.SIGNAL
+
+    def test_trace_is_valid(self):
+        timeline = StreamTimeline()
+        for i in range(5):
+            timeline.enqueue("s", kernel(f"k{i}", 1.0))
+        timeline.trace.validate_stream_order()

@@ -1,0 +1,84 @@
+"""Tests for timeline traces (repro.sim.trace)."""
+
+import pytest
+
+from repro.gpu.kernels import KernelCategory
+from repro.sim.trace import Span, Trace
+
+
+@pytest.fixture
+def trace():
+    t = Trace()
+    t.record("compute", "gemm", 0.0, 10.0, KernelCategory.GEMM)
+    t.record("comm", "ar-g1", 4.0, 8.0, KernelCategory.COMMUNICATION)
+    t.record("comm", "ar-g2", 10.0, 14.0, KernelCategory.COMMUNICATION)
+    return t
+
+
+class TestSpan:
+    def test_duration(self):
+        assert Span("s", "x", 1.0, 3.0).duration == 2.0
+
+    def test_invalid_span(self):
+        with pytest.raises(ValueError):
+            Span("s", "x", 3.0, 1.0)
+
+    def test_overlap(self):
+        a = Span("s", "a", 0.0, 5.0)
+        b = Span("t", "b", 3.0, 8.0)
+        c = Span("t", "c", 6.0, 7.0)
+        assert a.overlaps(b) == 2.0
+        assert a.overlaps(c) == 0.0
+
+
+class TestTraceQueries:
+    def test_streams_and_spans_on(self, trace):
+        assert trace.streams() == ["compute", "comm"]
+        assert len(trace.spans_on("comm")) == 2
+
+    def test_makespan(self, trace):
+        assert trace.makespan() == 14.0
+        assert Trace().makespan() == 0.0
+
+    def test_busy_time(self, trace):
+        assert trace.busy_time("compute") == 10.0
+        assert trace.busy_time("comm") == 8.0
+
+    def test_overlapped_time(self, trace):
+        assert trace.overlapped_time("compute", "comm") == 4.0
+
+    def test_category_time(self, trace):
+        assert trace.category_time(KernelCategory.COMMUNICATION) == 8.0
+        assert trace.category_time(KernelCategory.SIGNAL) == 0.0
+
+    def test_head_tail_overlap(self, trace):
+        head, overlapped, tail = trace.head_tail_overlap("compute", "comm")
+        assert head == 4.0
+        assert overlapped == 4.0
+        assert tail == 4.0
+
+    def test_head_tail_overlap_without_comm(self):
+        t = Trace()
+        t.record("compute", "gemm", 0.0, 5.0)
+        head, overlapped, tail = t.head_tail_overlap("compute", "comm")
+        assert (head, overlapped, tail) == (5.0, 0.0, 0.0)
+
+
+class TestValidationAndRendering:
+    def test_validate_stream_order_ok(self, trace):
+        trace.validate_stream_order()
+
+    def test_validate_stream_order_detects_overlap(self):
+        t = Trace()
+        t.record("comm", "a", 0.0, 5.0)
+        t.record("comm", "b", 4.0, 6.0)
+        with pytest.raises(ValueError):
+            t.validate_stream_order()
+
+    def test_render_ascii_contains_streams(self, trace):
+        art = trace.render_ascii(width=60)
+        assert "compute" in art and "comm" in art
+        assert "ms" in art
+
+    def test_render_empty(self):
+        assert Trace().render_ascii() == "(empty trace)"

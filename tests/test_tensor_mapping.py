@@ -1,0 +1,81 @@
+"""Tests for the reordering mapping table (repro.tensor.mapping)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.mapping import MappingTable
+
+
+class TestConstruction:
+    def test_from_order(self):
+        table = MappingTable.from_order([3, 0, 2, 1])
+        assert table.position_of(3) == 0
+        assert table.position_of(0) == 1
+        assert table.original_of(2) == 2
+        assert len(table) == 4
+
+    def test_append_auto_position(self):
+        table = MappingTable()
+        assert table.append(7) == 0
+        assert table.append(2) == 1
+        assert 7 in table and 2 in table and 5 not in table
+
+    def test_duplicate_original_rejected(self):
+        table = MappingTable.from_order([0, 1])
+        with pytest.raises(ValueError):
+            table.append(1)
+
+    def test_duplicate_position_rejected(self):
+        table = MappingTable()
+        table.append(0, position=0)
+        with pytest.raises(ValueError):
+            table.append(1, position=0)
+
+
+class TestQueries:
+    def test_inverse_round_trip(self):
+        order = [5, 3, 1, 0, 2, 4]
+        table = MappingTable.from_order(order)
+        inverse = table.inverse()
+        assert [inverse[p] for p in range(len(order))] == order
+
+    def test_as_permutation(self):
+        order = [2, 0, 1]
+        table = MappingTable.from_order(order)
+        np.testing.assert_array_equal(table.as_permutation(), np.array(order))
+
+    def test_as_permutation_requires_dense_positions(self):
+        table = MappingTable()
+        table.append(0, position=0)
+        table.append(1, position=2)
+        assert not table.is_permutation()
+        with pytest.raises(ValueError):
+            table.as_permutation()
+
+    def test_original_of_missing_position(self):
+        table = MappingTable.from_order([0])
+        with pytest.raises(KeyError):
+            table.original_of(3)
+
+    def test_size_bytes(self):
+        table = MappingTable.from_order(range(10))
+        assert table.size_bytes() == 40
+        assert table.size_bytes(index_bytes=8) == 80
+
+
+class TestMerge:
+    def test_merge_offsets_positions(self):
+        first = MappingTable.from_order([4, 2])
+        second = MappingTable.from_order([1, 3])
+        merged = first.merge(second, position_offset=2)
+        assert merged.position_of(4) == 0
+        assert merged.position_of(1) == 2
+        assert merged.position_of(3) == 3
+        assert merged.is_permutation() is False or len(merged) == 4
+
+    def test_merge_does_not_mutate_inputs(self):
+        first = MappingTable.from_order([0])
+        second = MappingTable.from_order([1])
+        first.merge(second, position_offset=1)
+        assert len(first) == 1
+        assert len(second) == 1

@@ -1,0 +1,110 @@
+"""Tests for the end-to-end workload aggregation (Fig. 4 / Fig. 12)."""
+
+import pytest
+
+from repro.comm.primitives import CollectiveKind
+from repro.core.baselines import VanillaDecompositionBaseline
+from repro.core.config import OverlapProblem, OverlapSettings
+from repro.workloads.e2e import (
+    llama3_inference_workload,
+    mixtral_training_workload,
+    paper_workloads,
+    step_video_workload,
+)
+from repro.workloads.operators import EndToEndWorkload, OperatorInstance
+
+
+@pytest.fixture
+def settings():
+    return OverlapSettings(executor_jitter=0.0, bandwidth_profile_noise=0.0)
+
+
+@pytest.fixture
+def inference(settings):
+    return llama3_inference_workload(layers=1, settings=settings)
+
+
+class TestOperatorInstance:
+    def test_pattern_labels(self, paper_problem_4090):
+        comm_op = OperatorInstance(name="x", problem=paper_problem_4090)
+        other = OperatorInstance(name="y", other_latency=1e-3)
+        assert comm_op.pattern() == "GEMM+AR"
+        assert other.pattern() == "others"
+        assert comm_op.is_overlap_target and not other.is_overlap_target
+
+    def test_validation(self, paper_problem_4090):
+        with pytest.raises(ValueError):
+            OperatorInstance(name="empty")
+        with pytest.raises(ValueError):
+            OperatorInstance(name="bad", problem=paper_problem_4090, count=0)
+        with pytest.raises(ValueError):
+            OperatorInstance(name="bad", other_latency=-1.0)
+
+
+class TestEndToEndWorkload:
+    def test_breakdown_sums_to_one(self, inference):
+        shares = inference.breakdown()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["GEMM+AR"] > 0.2  # Fig. 4: GEMM+AR is a large share
+
+    def test_overlap_target_fraction_in_paper_band(self, inference):
+        # Sec. 2.3.1: GEMM+AR occupies roughly 30-45% of TP inference time.
+        assert 0.25 < inference.overlap_target_fraction() < 0.55
+
+    def test_flashoverlap_speedup_above_one(self, inference):
+        speedup = inference.speedup()
+        assert 1.02 < speedup < 1.35
+
+    def test_e2e_speedup_below_operator_speedups(self, inference):
+        # Amdahl: the end-to-end gain cannot exceed the per-operator gains.
+        operator_speedups = inference.operator_speedups()
+        assert operator_speedups
+        assert inference.speedup() < max(operator_speedups.values())
+
+    def test_baseline_method_evaluation(self, inference):
+        vanilla = VanillaDecompositionBaseline()
+        assert inference.speedup(vanilla) >= 0.95
+        assert inference.speedup(vanilla) <= inference.speedup("flashoverlap") * 1.05
+
+    def test_layers_scale_latency_linearly(self, settings):
+        one = llama3_inference_workload(layers=1, settings=settings)
+        four = llama3_inference_workload(layers=4, settings=settings)
+        assert four.total_latency() == pytest.approx(4 * one.total_latency(), rel=1e-6)
+
+    def test_unknown_method_rejected(self, inference):
+        with pytest.raises(ValueError):
+            inference.total_latency("magic")
+
+    def test_invalid_layers(self, paper_problem_4090):
+        with pytest.raises(ValueError):
+            EndToEndWorkload(name="x", operators=[OperatorInstance("a", paper_problem_4090)], layers=0)
+
+
+class TestPaperWorkloads:
+    def test_all_four_applications_build(self, settings):
+        workloads = paper_workloads(settings)
+        assert len(workloads) == 4
+        names = " ".join(w.name for w in workloads)
+        assert "Llama3-70B" in names and "Mixtral" in names and "Step-Video" in names
+
+    def test_mixtral_has_a2a_share(self, settings):
+        workload = mixtral_training_workload(layers=1, settings=settings)
+        shares = workload.breakdown()
+        assert shares.get("GEMM+A2A", 0.0) > 0.05
+
+    def test_step_video_has_largest_ar_share(self, settings):
+        t2v = step_video_workload(layers=1, settings=settings).breakdown()["GEMM+AR"]
+        moe = mixtral_training_workload(layers=1, settings=settings).breakdown().get("GEMM+AR", 0.0)
+        assert t2v > moe
+
+    def test_every_paper_workload_speeds_up(self, settings):
+        for workload in paper_workloads(settings):
+            assert workload.speedup() > 1.0, workload.name
+
+    def test_llama2_training_workload(self, settings):
+        from repro.workloads.e2e import llama2_training_workload
+
+        workload = llama2_training_workload(layers=1, settings=settings)
+        shares = workload.breakdown()
+        assert shares.get("GEMM+RS", 0.0) > 0.15
+        assert workload.speedup() > 1.0

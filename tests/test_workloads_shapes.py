@@ -1,0 +1,73 @@
+"""Tests for the GEMM shape suites (repro.workloads.shapes, Table 3)."""
+
+import pytest
+
+from repro.comm.primitives import CollectiveKind
+from repro.workloads.shapes import (
+    TABLE3_RANGES,
+    ascend_suite,
+    fig11_shapes,
+    fig13_grid,
+    fig13_shape,
+    operator_suite,
+)
+
+
+class TestOperatorSuite:
+    @pytest.mark.parametrize("collective", list(CollectiveKind))
+    @pytest.mark.parametrize("family", ["a800", "rtx4090"])
+    def test_suites_exist_for_table3_entries(self, collective, family):
+        if (collective, family) not in TABLE3_RANGES:
+            pytest.skip("not a Table 3 combination")
+        suite = operator_suite(collective, family)
+        assert len(suite) >= 10
+        for shape in suite:
+            assert shape.m >= 128 and shape.n >= 1024 and shape.k >= 1024
+
+    def test_shapes_respect_table3_ranges(self):
+        suite = operator_suite(CollectiveKind.ALL_REDUCE, "a800")
+        (mn_lo, mn_hi), (k_lo, k_hi) = TABLE3_RANGES[(CollectiveKind.ALL_REDUCE, "a800")]
+        for shape in suite:
+            mn = shape.m * shape.n / 1024**2
+            assert mn_lo * 0.9 <= mn <= mn_hi * 1.1
+            assert k_lo * 1024 <= shape.k <= k_hi * 1024
+
+    def test_4090_shapes_smaller_than_a800(self):
+        a800 = operator_suite(CollectiveKind.ALL_REDUCE, "a800")
+        rtx = operator_suite(CollectiveKind.ALL_REDUCE, "rtx4090")
+        assert max(s.m * s.n for s in rtx) < max(s.m * s.n for s in a800)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            operator_suite(CollectiveKind.ALL_REDUCE, "h100")
+
+    def test_suite_is_deterministic(self):
+        a = operator_suite(CollectiveKind.ALL_TO_ALL, "rtx4090")
+        b = operator_suite(CollectiveKind.ALL_TO_ALL, "rtx4090")
+        assert a.shapes == b.shapes
+
+
+class TestFigureSuites:
+    def test_fig11_has_nine_typical_shapes(self):
+        suite = fig11_shapes()
+        assert len(suite) == 9
+        assert {s.k for s in suite} == {2048, 4096, 8192}
+        assert {s.m for s in suite} == {16384, 32768, 49152}
+
+    def test_fig13_grids(self):
+        mn, k = fig13_grid("rtx4090")
+        assert len(mn) == 7 and len(k) == 7
+        mn_a800, k_a800 = fig13_grid("a800")
+        assert min(mn_a800) > max(mn) / 2
+        with pytest.raises(KeyError):
+            fig13_grid("tpu")
+
+    def test_fig13_shape_expansion(self):
+        shape = fig13_shape(64, 8)
+        assert shape.m * shape.n == 64 * 1024 * 1024
+        assert shape.k == 8192
+
+    def test_ascend_suite(self):
+        suite = ascend_suite()
+        assert len(suite) == 8
+        assert all(s.m >= 2048 for s in suite)
