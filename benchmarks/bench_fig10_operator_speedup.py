@@ -17,7 +17,7 @@ from repro.core.config import OverlapProblem
 from repro.gpu.device import A800, RTX_4090
 from repro.workloads.shapes import operator_suite
 
-from conftest import run_once
+from conftest import run_once, scaled
 
 SERVERS = {
     "a800": (A800, a800_nvlink),
@@ -27,10 +27,15 @@ PRIMITIVES = (CollectiveKind.ALL_REDUCE, CollectiveKind.REDUCE_SCATTER, Collecti
 GPU_COUNTS = (2, 4, 8)
 
 
-def survey(family, collective, n_gpus, settings):
+def survey(family, collective, n_gpus, settings, smoke_mode=False):
     device, topo_builder = SERVERS[family]
     topology = topo_builder(n_gpus)
-    suite = operator_suite(collective, family, mn_points=4, k_points=3)
+    suite = operator_suite(
+        collective,
+        family,
+        mn_points=scaled(smoke_mode, 4, 2),
+        k_points=scaled(smoke_mode, 3, 2),
+    )
 
     def build(shape):
         return OverlapProblem(shape=shape, device=device, topology=topology, collective=collective)
@@ -41,9 +46,11 @@ def survey(family, collective, n_gpus, settings):
 
 @pytest.mark.parametrize("family", ["a800", "rtx4090"])
 @pytest.mark.parametrize("collective", PRIMITIVES, ids=lambda c: c.short_name)
-def test_fig10_operator_speedup(benchmark, save_report, fast_settings, family, collective):
+def test_fig10_operator_speedup(benchmark, save_report, fast_settings, family, collective, smoke):
+    gpu_counts = scaled(smoke, GPU_COUNTS, (4,))
+
     def collect():
-        return {n: survey(family, collective, n, fast_settings) for n in GPU_COUNTS}
+        return {n: survey(family, collective, n, fast_settings, smoke) for n in gpu_counts}
 
     per_gpu_count = run_once(benchmark, collect)
 

@@ -14,13 +14,15 @@ from repro.core.config import OverlapProblem
 from repro.gpu.device import A800
 from repro.workloads.shapes import fig11_shapes
 
-from conftest import run_once
+from conftest import run_once, scaled
 
 
-def collect(settings):
+def collect(settings, smoke_mode=False):
     topology = a800_nvlink(4)
+    # Smoke mode keeps one shape per K so every regime is still touched.
+    shapes = list(fig11_shapes())[:: scaled(smoke_mode, 1, 3)]
     results = []
-    for shape in fig11_shapes():
+    for shape in shapes:
         problem = OverlapProblem(
             shape=shape, device=A800, topology=topology, collective=CollectiveKind.REDUCE_SCATTER
         )
@@ -28,8 +30,8 @@ def collect(settings):
     return results
 
 
-def test_fig11_typical_shapes(benchmark, save_report, fast_settings):
-    results = run_once(benchmark, lambda: collect(fast_settings))
+def test_fig11_typical_shapes(benchmark, save_report, fast_settings, smoke):
+    results = run_once(benchmark, lambda: collect(fast_settings, smoke))
 
     methods = sorted(results[0][1].speedups)
     rows = [
@@ -54,5 +56,5 @@ def test_fig11_typical_shapes(benchmark, save_report, fast_settings):
             # Outside the small-K regime FlashOverlap should stay within a few
             # percent of the best method even when it does not win outright.
             assert flash > best_other * 0.90, shape
-    # FlashOverlap wins on most of the nine shapes.
-    assert wins >= 5
+    # FlashOverlap wins on most of the shapes (nine in the full run).
+    assert wins >= max(1, len(results) // 2 + 1)

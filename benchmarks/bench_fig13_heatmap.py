@@ -21,7 +21,7 @@ from repro.core.config import OverlapProblem
 from repro.gpu.device import A800, RTX_4090
 from repro.workloads.shapes import fig13_grid, fig13_shape
 
-from conftest import run_once
+from conftest import run_once, scaled
 
 CONFIGS = {
     "rtx4090": dict(device=RTX_4090, topology=rtx4090_pcie(2), collective=CollectiveKind.REDUCE_SCATTER),
@@ -30,12 +30,14 @@ CONFIGS = {
 
 
 @pytest.mark.parametrize("family", ["rtx4090", "a800"])
-def test_fig13_heatmap(benchmark, save_report, fast_settings, family):
+def test_fig13_heatmap(benchmark, save_report, fast_settings, family, smoke):
     config = CONFIGS[family]
     mn_values, k_values = fig13_grid(family)
-    # Sub-sample the grid to keep the bench fast while preserving the trends.
-    mn_values = mn_values[::2]
-    k_values = k_values[::2]
+    # Sub-sample the grid to keep the bench fast while preserving the trends
+    # (more aggressively in smoke mode: the corners still span both axes).
+    step = scaled(smoke, 2, 3)
+    mn_values = mn_values[::step]
+    k_values = k_values[::step]
 
     def builder(mn_mega, k_kilo):
         return OverlapProblem(shape=fig13_shape(mn_mega, k_kilo), **config)

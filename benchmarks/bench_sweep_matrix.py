@@ -1,0 +1,63 @@
+"""End-to-end exercise of the parallel scenario-sweep subsystem.
+
+Fans a multi-preset scenario matrix out over worker processes, persists the
+JSONL result store and the shape-cache warm start, then re-runs with resume
+enabled and checks that no job is re-executed and no shape is re-tuned --
+the contract the CI smoke job relies on.
+"""
+
+import pytest
+
+from repro.core.tuner import GemmShapeCache
+from repro.sweep import (
+    ResultStore,
+    SweepRunner,
+    group_summary_table,
+    matrix_from_preset,
+    scenario_table,
+)
+
+from conftest import run_once, scaled
+
+
+@pytest.fixture
+def matrices(smoke):
+    names = scaled(smoke, ["llm-inference", "moe-alltoall", "table3-ar-rtx4090"], ["smoke"])
+    return [matrix_from_preset(name) for name in names]
+
+
+def test_sweep_matrix_end_to_end(benchmark, save_report, tmp_path, matrices, smoke):
+    store = ResultStore(tmp_path / "sweep.jsonl")
+    cache_path = tmp_path / "shapes.json"
+
+    def collect():
+        runner = SweepRunner(store, workers=2, cache_path=str(cache_path))
+        return [runner.run(matrix) for matrix in matrices]
+
+    summaries = run_once(benchmark, collect)
+    records = [record for summary in summaries for record in summary.records]
+
+    total = sum(summary.total_scenarios for summary in summaries)
+    assert total >= 12
+    assert sum(summary.executed for summary in summaries) == total
+    assert sum(summary.failed for summary in summaries) == 0
+
+    report = (
+        scenario_table(records, title="sweep -- per-scenario results")
+        + "\n\n"
+        + group_summary_table(records, title="sweep -- per-group summary")
+    )
+    save_report("sweep_matrix" + ("_smoke" if smoke else ""), report)
+
+    # The persisted artefacts exist and are loadable.
+    assert store.path.exists()
+    assert len(store.completed_ids()) == total
+    cache = GemmShapeCache.load(cache_path)
+    assert len(cache) > 0
+
+    # Resume: a re-run over the same matrices executes nothing.
+    resumed = SweepRunner(store, workers=2, resume=True, cache=cache)
+    for matrix in matrices:
+        summary = resumed.run(matrix)
+        assert summary.executed == 0
+        assert summary.tuned == 0

@@ -20,6 +20,26 @@ if str(_SRC) not in sys.path:
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="reduced-size benchmark mode (tiny grids, 1-2 repetitions) for CI smoke runs",
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke(request) -> bool:
+    """True when the run was started with ``--smoke`` (CI fast mode)."""
+    return request.config.getoption("--smoke")
+
+
+def scaled(smoke_mode: bool, full, reduced):
+    """Pick the reduced variant of a grid/axis in smoke mode, else the full one."""
+    return reduced if smoke_mode else full
+
+
 @pytest.fixture(scope="session")
 def report_dir() -> Path:
     OUTPUT_DIR.mkdir(exist_ok=True)

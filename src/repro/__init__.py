@@ -10,7 +10,9 @@ The package mirrors the paper's structure:
 * :mod:`repro.core` -- the FlashOverlap design (signaling, reordering, wave
   grouping, predictive tuning) and the baselines it is compared against,
 * :mod:`repro.workloads` -- GEMM shape suites and model-level workloads,
-* :mod:`repro.analysis` -- speedup/heatmap/breakdown reporting helpers.
+* :mod:`repro.analysis` -- speedup/heatmap/breakdown reporting helpers,
+* :mod:`repro.sweep` -- parallel scenario sweeps (matrices, presets, worker
+  fan-out, JSONL result store, aggregation).
 
 Quickstart::
 
@@ -55,6 +57,15 @@ from repro.gpu import (
     GemmTileConfig,
     GPUSpec,
 )
+from repro.sweep import (
+    Platform,
+    ResultStore,
+    Scenario,
+    ScenarioMatrix,
+    SweepRunner,
+    matrix_from_preset,
+    sweep_presets,
+)
 
 __version__ = "0.1.0"
 
@@ -83,4 +94,12 @@ __all__ = [
     "rtx4090_pcie",
     "a800_nvlink",
     "ascend_hccs",
+    # sweep
+    "Platform",
+    "Scenario",
+    "ScenarioMatrix",
+    "SweepRunner",
+    "ResultStore",
+    "matrix_from_preset",
+    "sweep_presets",
 ]

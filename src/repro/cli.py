@@ -1,15 +1,18 @@
-"""Command-line interface: tune, report and verify overlap problems.
+"""Command-line interface: tune, report, sweep and verify overlap problems.
 
-A thin front end over :class:`~repro.core.overlap.FlashOverlapOperator` so the
-library can be exercised without writing Python::
+A thin front end over :class:`~repro.core.overlap.FlashOverlapOperator` and
+:class:`~repro.sweep.SweepRunner` so the library can be exercised without
+writing Python::
 
-    repro-overlap report  --m 4096 --n 8192 --k 7168 --device rtx4090 \
-                          --topology rtx4090-pcie --gpus 4 --collective allreduce
-    repro-overlap tune    --m 16384 --n 8192 --k 2048 --device a800 \
-                          --topology a800-nvlink --gpus 4 --collective reducescatter
-    repro-overlap verify  --collective alltoall --gpus 4
-    repro-overlap compare --m 16384 --n 8192 --k 4096 --device a800 \
-                          --topology a800-nvlink --gpus 8 --collective reducescatter
+    repro report  --m 4096 --n 8192 --k 7168 --device rtx4090 \
+                  --topology rtx4090-pcie --gpus 4 --collective allreduce
+    repro tune    --m 16384 --n 8192 --k 2048 --device a800 \
+                  --topology a800-nvlink --gpus 4 --collective reducescatter
+    repro verify  --collective alltoall --gpus 4
+    repro compare --m 16384 --n 8192 --k 4096 --device a800 \
+                  --topology a800-nvlink --gpus 8 --collective reducescatter
+    repro sweep   --preset llm-inference --workers 4 --out results.jsonl \
+                  --cache shapes.json --resume
 
 Sub-commands:
 
@@ -17,7 +20,10 @@ Sub-commands:
 * ``tune``    -- print the tuned wave-group partition (optionally persist it
   into a JSON shape cache with ``--cache``);
 * ``compare`` -- compare FlashOverlap against every supported baseline;
-* ``verify``  -- run the NumPy correctness pipeline on a small instance.
+* ``verify``  -- run the NumPy correctness pipeline on a small instance;
+* ``sweep``   -- fan a scenario matrix (named preset or JSON config) out over
+  worker processes into a JSONL result store, with resume and shape-cache
+  warm start.
 """
 
 from __future__ import annotations
@@ -37,7 +43,7 @@ from repro.gpu.gemm import GemmShape, GemmTileConfig
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro-overlap",
+        prog="repro",
         description="FlashOverlap reproduction: tune and evaluate GEMM + collective overlap",
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -74,6 +80,29 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=["allreduce", "reducescatter", "alltoall"])
     verify.add_argument("--gpus", type=int, default=4)
     verify.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser(
+        "sweep", help="fan a scenario matrix out over worker processes into a JSONL store"
+    )
+    source = sweep.add_mutually_exclusive_group(required=True)
+    source.add_argument("--preset", action="append", dest="presets", metavar="NAME",
+                        help="named scenario matrix (repeatable); see --list-presets")
+    source.add_argument("--config", type=str,
+                        help="JSON file holding a ScenarioMatrix dict (see sweep docs)")
+    source.add_argument("--list-presets", action="store_true",
+                        help="print the known preset matrices and exit")
+    sweep.add_argument("--out", type=str, default="sweep_results.jsonl",
+                       help="JSONL result store (appended to; used by --resume)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (<=1 runs in-process)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip job IDs already completed in --out")
+    sweep.add_argument("--cache", type=str, default=None,
+                       help="GEMM shape-cache JSON warm start, updated after the run")
+    sweep.add_argument("--baselines", action="store_true",
+                       help="also evaluate every baseline method per scenario (slower)")
+    sweep.add_argument("--group-by", type=str, default="workload,collective,topology",
+                       help="comma-separated scenario fields of the summary rollup")
     return parser
 
 
@@ -168,18 +197,99 @@ def _command_verify(args: argparse.Namespace) -> int:
     return 0 if result.allclose() else 1
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.core.tuner import GemmShapeCache
+    from repro.sweep import (
+        ResultStore,
+        Scenario,
+        ScenarioMatrix,
+        SweepRunner,
+        group_summary_table,
+        matrix_from_preset,
+        scenario_table,
+        sweep_presets,
+    )
+
+    if args.list_presets:
+        for name, factory in sorted(sweep_presets().items()):
+            print(f"{name:<20} {len(factory())} scenarios")
+        return 0
+
+    try:
+        if args.config:
+            payload = json.loads(Path(args.config).read_text(encoding="utf-8"))
+            matrices = [ScenarioMatrix.from_dict(payload)]
+        else:
+            matrices = [matrix_from_preset(name) for name in args.presets]
+    except (KeyError, ValueError, OSError, json.JSONDecodeError) as error:
+        print(f"repro sweep: error: {error}", file=sys.stderr)
+        return 2
+
+    group_keys = tuple(key.strip() for key in args.group_by.split(",") if key.strip())
+    scenario_fields = set(Scenario.__dataclass_fields__)
+    unknown_keys = [key for key in group_keys if key not in scenario_fields]
+    if unknown_keys:
+        print(
+            f"repro sweep: error: unknown --group-by fields {unknown_keys}; "
+            f"known: {sorted(scenario_fields)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    cache = GemmShapeCache.load(args.cache, missing_ok=True) if args.cache else None
+    store = ResultStore(args.out)
+    runner = SweepRunner(
+        store,
+        workers=args.workers,
+        resume=args.resume,
+        cache=cache,
+        cache_path=args.cache,
+        baselines=args.baselines,
+    )
+
+    all_records: list[dict] = []
+    failed = 0
+    for matrix in matrices:
+        summary = runner.run(matrix)
+        failed += summary.failed
+        all_records.extend(summary.records)
+        print(f"{matrix.name}: {summary.describe()}")
+
+    if all_records:
+        print()
+        print(scenario_table(all_records, title="per-scenario results"))
+        print()
+        print(group_summary_table(all_records, keys=group_keys, title="per-group summary"))
+    print(f"\nresults  : {store.path} ({len(store.completed_ids())} completed jobs)")
+    if args.cache:
+        print(f"cache    : {args.cache} ({len(runner.cache)} entries)")
+    return 1 if failed else 0
+
+
 _COMMANDS = {
     "report": _command_report,
     "tune": _command_tune,
     "compare": _command_compare,
     "verify": _command_verify,
+    "sweep": _command_sweep,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point of the ``repro-overlap`` console script."""
+    """Entry point of the ``repro`` / ``repro-overlap`` console scripts."""
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # e.g. `repro sweep | head`: the reader went away; exit quietly with
+        # the conventional SIGPIPE status instead of a traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

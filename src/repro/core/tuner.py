@@ -213,17 +213,48 @@ class GemmShapeCache:
         return cache
 
     def save(self, path) -> None:
-        """Write the cache to a JSON file."""
+        """Write the cache to a JSON file, creating parent directories."""
         from pathlib import Path
 
-        Path(path).write_text(self.to_json(), encoding="utf-8")
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json(), encoding="utf-8")
 
     @classmethod
-    def load(cls, path) -> "GemmShapeCache":
-        """Load a cache previously written with :meth:`save`."""
+    def load(cls, path, missing_ok: bool = False) -> "GemmShapeCache":
+        """Load a cache previously written with :meth:`save`.
+
+        A missing file raises :class:`FileNotFoundError` unless ``missing_ok``
+        is set, in which case an empty cache is returned (the warm-start idiom:
+        ``GemmShapeCache.load(path, missing_ok=True)`` on first run).
+        """
         from pathlib import Path
 
-        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+        target = Path(path)
+        if not target.exists():
+            if missing_ok:
+                return cls()
+            raise FileNotFoundError(
+                f"no shape cache at {target}; pass missing_ok=True to start from an empty cache"
+            )
+        return cls.from_json(target.read_text(encoding="utf-8"))
+
+    def lookup(
+        self,
+        problem: OverlapProblem,
+        settings: OverlapSettings = DEFAULT_SETTINGS,
+        max_distance: float = 1.0,
+    ) -> TuningResult | None:
+        """Nearest cached result reusable for ``problem``, or None.
+
+        A cached partition is reusable when its wave count matches the
+        problem's and the log-space shape distance is within ``max_distance``.
+        """
+        executor_waves = OverlapExecutor(problem, settings).num_waves()
+        entry = self.nearest(problem.shape, required_waves=executor_waves)
+        if entry is not None and self._distance(problem.shape, entry.shape) <= max_distance:
+            return entry.result
+        return None
 
     def lookup_or_tune(
         self,
@@ -232,10 +263,9 @@ class GemmShapeCache:
         max_distance: float = 1.0,
     ) -> TuningResult:
         """Reuse the nearest cached partition when close enough, else tune."""
-        executor_waves = OverlapExecutor(problem, tuner.settings).num_waves()
-        entry = self.nearest(problem.shape, required_waves=executor_waves)
-        if entry is not None and self._distance(problem.shape, entry.shape) <= max_distance:
-            return entry.result
+        cached = self.lookup(problem, tuner.settings, max_distance)
+        if cached is not None:
+            return cached
         result = tuner.tune(problem)
         self.add(problem.shape, result)
         return result

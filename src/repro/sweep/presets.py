@@ -1,0 +1,163 @@
+"""Named scenario matrices drawn from the workload models.
+
+Each preset turns one workload family (dense LLM inference/training, MoE
+expert parallelism, text-to-video DiT, the Table 3 operator suites) into a
+:class:`~repro.sweep.matrix.ScenarioMatrix` whose GEMM shapes come from the
+same model configurations the end-to-end benchmarks use, so a sweep covers
+the shapes that actually occur in those workloads rather than an arbitrary
+grid.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.comm.primitives import CollectiveKind
+from repro.gpu.gemm import GemmShape
+from repro.sweep.matrix import Platform, ScenarioMatrix
+from repro.workloads.llm import LLAMA3_70B, ModelConfig
+from repro.workloads.moe import MIXTRAL_8X7B, MoEConfig
+from repro.workloads.shapes import operator_suite
+from repro.workloads.t2v import STEP_VIDEO_T2V, DiTConfig
+
+A800_NODE = Platform(device="a800", topology="a800-nvlink", gpus=4)
+A800_NODE_8 = Platform(device="a800", topology="a800-nvlink", gpus=8)
+RTX4090_NODE = Platform(device="rtx4090", topology="rtx4090-pcie", gpus=4)
+
+
+def _row_parallel_shapes(model: ModelConfig, tokens: tuple[int, ...], tp: int) -> list[GemmShape]:
+    """The row-parallel projections followed by a collective under TP."""
+    shapes = []
+    for t in tokens:
+        shapes.append(GemmShape(m=t, n=model.hidden_size, k=model.hidden_size // tp))
+        shapes.append(GemmShape(m=t, n=model.hidden_size, k=model.intermediate_size // tp))
+    return shapes
+
+
+def llm_inference_matrix(
+    model: ModelConfig = LLAMA3_70B,
+    tokens: tuple[int, ...] = (2048, 4096),
+    tp: int = 4,
+) -> ScenarioMatrix:
+    """GEMM+AllReduce pairs of dense-LLM TP inference (attn-out, mlp-down)."""
+    return ScenarioMatrix.build(
+        name=f"llm-inference-{model.name.lower()}",
+        workload="llm-inference",
+        shapes=_row_parallel_shapes(model, tokens, tp),
+        platforms=[Platform(device="a800", topology="a800-nvlink", gpus=tp)],
+        collectives=["allreduce"],
+    )
+
+
+def llm_training_matrix(
+    model: ModelConfig = LLAMA3_70B,
+    tokens: tuple[int, ...] = (4096,),
+    tp: int = 4,
+) -> ScenarioMatrix:
+    """GEMM+ReduceScatter pairs of TP training: forward row-parallel + wgrad."""
+    shapes = _row_parallel_shapes(model, tokens, tp)
+    for t in tokens:
+        shapes.append(GemmShape(m=model.hidden_size, n=model.hidden_size // tp, k=t))
+        shapes.append(GemmShape(m=model.intermediate_size // tp, n=model.hidden_size, k=t))
+    return ScenarioMatrix.build(
+        name=f"llm-training-{model.name.lower()}",
+        workload="llm-training",
+        shapes=shapes,
+        platforms=[Platform(device="a800", topology="a800-nvlink", gpus=tp)],
+        collectives=["reducescatter"],
+    )
+
+
+def moe_alltoall_matrix(
+    model: MoEConfig = MIXTRAL_8X7B,
+    tokens: tuple[int, ...] = (4096, 8192),
+    ep: int = 4,
+    imbalances: tuple[float, ...] = (1.0, 1.15, 1.3),
+) -> ScenarioMatrix:
+    """Expert down-projection + All-to-All under imbalanced routing."""
+    shapes = [
+        GemmShape(
+            m=t * model.top_k // ep,
+            n=model.hidden_size,
+            k=model.expert_intermediate_size,
+        )
+        for t in tokens
+    ]
+    return ScenarioMatrix.build(
+        name=f"moe-alltoall-{model.name.lower()}",
+        workload="moe-alltoall",
+        shapes=shapes,
+        platforms=[Platform(device="a800", topology="a800-nvlink", gpus=ep)],
+        collectives=["alltoall"],
+        imbalances=imbalances,
+    )
+
+
+def t2v_matrix(
+    config: DiTConfig = STEP_VIDEO_T2V,
+    tokens: tuple[int, ...] = (20480, 30720),
+    tp: int = 4,
+) -> ScenarioMatrix:
+    """Long-sequence DiT blocks: the largest GEMM+AR share of the paper."""
+    return ScenarioMatrix.build(
+        name=f"t2v-{config.name.lower()}",
+        workload="t2v",
+        shapes=_row_parallel_shapes(config.dense, tokens, tp),
+        platforms=[Platform(device="a800", topology="a800-nvlink", gpus=tp)],
+        collectives=["allreduce"],
+    )
+
+
+def table3_matrix(collective: str = "allreduce", device_family: str = "rtx4090") -> ScenarioMatrix:
+    """Reduced grid over the Table 3 operator-level range for one pair."""
+    kind = CollectiveKind.from_name(collective)
+    suite = operator_suite(kind, device_family, mn_points=3, k_points=2)
+    platform = RTX4090_NODE if device_family == "rtx4090" else A800_NODE
+    return ScenarioMatrix.build(
+        name=suite.name,
+        workload=f"table3-{device_family}",
+        shapes=list(suite),
+        platforms=[platform],
+        collectives=[collective],
+    )
+
+
+def smoke_matrix() -> ScenarioMatrix:
+    """Small-but-wide matrix for CI and tests: 12 cheap scenarios.
+
+    Shapes are tiny so one scenario costs milliseconds, yet the matrix still
+    spans two platforms and two collectives (the axes CI wants covered).
+    """
+    return ScenarioMatrix.build(
+        name="smoke",
+        workload="smoke",
+        shapes=[(512, 1024, 1024), (1024, 2048, 1024), (2048, 2048, 2048)],
+        platforms=[RTX4090_NODE, A800_NODE],
+        collectives=["allreduce", "reducescatter"],
+    )
+
+
+_PRESETS: dict[str, Callable[[], ScenarioMatrix]] = {
+    "smoke": smoke_matrix,
+    "llm-inference": llm_inference_matrix,
+    "llm-training": llm_training_matrix,
+    "moe-alltoall": moe_alltoall_matrix,
+    "t2v": t2v_matrix,
+    "table3-ar-rtx4090": lambda: table3_matrix("allreduce", "rtx4090"),
+    "table3-rs-a800": lambda: table3_matrix("reducescatter", "a800"),
+    "table3-a2a-a800": lambda: table3_matrix("alltoall", "a800"),
+}
+
+
+def sweep_presets() -> dict[str, Callable[[], ScenarioMatrix]]:
+    """The named preset registry (name -> matrix factory)."""
+    return dict(_PRESETS)
+
+
+def matrix_from_preset(name: str) -> ScenarioMatrix:
+    """Instantiate a named preset matrix."""
+    try:
+        factory = _PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown sweep preset {name!r}; known: {sorted(_PRESETS)}") from None
+    return factory()

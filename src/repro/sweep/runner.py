@@ -1,0 +1,208 @@
+"""Fan a scenario matrix out over worker processes.
+
+The :class:`SweepRunner` executes every :class:`~repro.sweep.matrix.Scenario`
+of a matrix -- tune (or reuse a cached partition), simulate, compare against
+the sequential baseline -- and appends one record per job to a
+:class:`~repro.sweep.store.ResultStore`.
+
+Determinism is a design constraint: the same matrix on 1 worker or N workers
+produces identical records.  To guarantee that, every job looks partitions up
+against the *initial* shape-cache snapshot (never against entries tuned by a
+sibling job of the same run, whose availability would depend on scheduling);
+freshly tuned entries are merged into the cache after the run, so the warm
+start applies across runs, not within one.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from repro.analysis.speedup import compare_methods
+from repro.core.baselines import NonOverlapBaseline
+from repro.core.executor import OverlapExecutor
+from repro.core.tuner import GemmShapeCache, PredictiveTuner
+from repro.sweep.matrix import Scenario, ScenarioMatrix
+from repro.sweep.store import ResultStore
+
+
+#: Per-worker-process state, set once by :func:`_init_worker` so the shared
+#: shape cache is deserialised per worker, not per job.
+_WORKER_CACHE: GemmShapeCache | None = None
+_WORKER_BASELINES = False
+
+
+def _init_worker(cache_json: str | None, baselines: bool) -> None:
+    global _WORKER_CACHE, _WORKER_BASELINES
+    _WORKER_CACHE = GemmShapeCache.from_json(cache_json) if cache_json else GemmShapeCache()
+    _WORKER_BASELINES = baselines
+
+
+def _execute_in_worker(payload: dict) -> dict:
+    return _execute_scenario(payload, _WORKER_CACHE, _WORKER_BASELINES)
+
+
+def _execute_scenario(payload: dict, cache: GemmShapeCache | None, baselines: bool) -> dict:
+    """Run one sweep job; module-level so worker processes can pickle it.
+
+    ``cache`` is only read, never mutated, so the in-process path can hand in
+    its live cache object directly.  Returns the result record; on a cache
+    miss the freshly tuned entry rides along under ``"cache_entry"`` so the
+    parent can merge it into the shared shape cache (the key is popped before
+    the record is stored).
+    """
+    scenario = Scenario.from_dict(payload)
+    record: dict = {"job_id": scenario.job_id, "scenario": scenario.to_dict()}
+    try:
+        problem = scenario.to_problem()
+        settings = scenario.to_settings()
+
+        result = cache.lookup(problem, settings) if cache is not None else None
+        tuned = result is None
+        if tuned:
+            result = PredictiveTuner(settings).tune(problem)
+
+        executor = OverlapExecutor(problem, settings)
+        if result.use_overlap:
+            overlap_latency = executor.simulate(result.partition).latency
+        else:
+            overlap_latency = executor.simulate_sequential().latency
+        non_overlap = NonOverlapBaseline(settings).latency(problem)
+        theoretical = executor.theoretical_latency()
+
+        record.update(
+            status="ok",
+            tuned=tuned,
+            cache_hit=not tuned,
+            use_overlap=result.use_overlap,
+            partition=list(result.partition.group_sizes),
+            candidates_evaluated=result.candidates_evaluated,
+            overlap_latency=overlap_latency,
+            non_overlap_latency=non_overlap,
+            theoretical_latency=theoretical,
+            speedup=non_overlap / overlap_latency,
+            ratio_of_theoretical=theoretical / overlap_latency,
+        )
+        if tuned:
+            fresh = GemmShapeCache()
+            fresh.add(problem.shape, result)
+            record["cache_entry"] = json.loads(fresh.to_json())[0]
+        if baselines:
+            comparison = compare_methods(problem, settings=settings)
+            record["method_speedups"] = dict(comparison.speedups)
+    except Exception as error:  # noqa: BLE001 - a failed job must not kill the sweep
+        record.update(status="error", error=f"{type(error).__name__}: {error}")
+    return record
+
+
+@dataclass
+class SweepSummary:
+    """What one :meth:`SweepRunner.run` call did."""
+
+    total_scenarios: int
+    executed: int
+    skipped: int
+    failed: int
+    tuned: int
+    cache_hits: int
+    records: list[dict] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (
+            f"{self.executed}/{self.total_scenarios} jobs executed "
+            f"({self.skipped} resumed, {self.cache_hits} cache hits, "
+            f"{self.tuned} tuned, {self.failed} failed)"
+        )
+
+
+class SweepRunner:
+    """Execute a scenario matrix and persist per-job records.
+
+    Parameters
+    ----------
+    store:
+        JSONL result store; completed job IDs in it are skipped when
+        ``resume`` is set.
+    workers:
+        Number of worker processes.  ``workers <= 1`` runs in-process, which
+        by construction produces the same records as any worker count.
+    cache:
+        Shape-cache warm start.  Lookups hit this snapshot; fresh tunes are
+        merged back after the run (and written to ``cache_path`` if given).
+    baselines:
+        Also evaluate every baseline method per scenario (slower; feeds the
+        per-method aggregation of :mod:`repro.analysis.speedup`).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int = 1,
+        resume: bool = False,
+        cache: GemmShapeCache | None = None,
+        cache_path: str | None = None,
+        baselines: bool = False,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.store = store
+        self.workers = workers
+        self.resume = resume
+        self.cache = cache if cache is not None else GemmShapeCache()
+        self.cache_path = cache_path
+        self.baselines = baselines
+
+    def run(self, matrix: ScenarioMatrix | list[Scenario]) -> SweepSummary:
+        scenarios = matrix.expand() if isinstance(matrix, ScenarioMatrix) else list(matrix)
+        completed = self.store.completed_ids() if self.resume else set()
+        pending = [s for s in scenarios if s.job_id not in completed]
+
+        if self.workers > 1 and pending:
+            cache_json = self.cache.to_json() if len(self.cache) else None
+            records = self._run_pool(pending, cache_json)
+        else:
+            # The cache is read-only during job execution (merges happen
+            # afterwards), so the live object can be shared directly.
+            records = [
+                _execute_scenario(s.to_dict(), self.cache, self.baselines) for s in pending
+            ]
+
+        # Deterministic store order regardless of worker completion order.
+        by_id = {record["job_id"]: record for record in records}
+        ordered = [by_id[s.job_id] for s in pending]
+        for record in ordered:
+            entry = record.pop("cache_entry", None)
+            if entry is not None:
+                self._merge_cache_entry(entry)
+            self.store.append(record)
+
+        if self.cache_path is not None:
+            self.cache.save(self.cache_path)
+
+        failed = sum(1 for r in ordered if r.get("status") != "ok")
+        return SweepSummary(
+            total_scenarios=len(scenarios),
+            executed=len(ordered),
+            skipped=len(scenarios) - len(pending),
+            failed=failed,
+            tuned=sum(1 for r in ordered if r.get("tuned")),
+            cache_hits=sum(1 for r in ordered if r.get("cache_hit")),
+            records=ordered,
+        )
+
+    def _run_pool(self, pending: list[Scenario], cache_json: str | None) -> list[dict]:
+        records: list[dict] = []
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(cache_json, self.baselines),
+        ) as pool:
+            futures = [pool.submit(_execute_in_worker, s.to_dict()) for s in pending]
+            for future in as_completed(futures):
+                records.append(future.result())
+        return records
+
+    def _merge_cache_entry(self, entry: dict) -> None:
+        merged = GemmShapeCache.from_json(json.dumps([entry]))
+        self.cache.entries.extend(merged.entries)

@@ -1,0 +1,61 @@
+"""Persistent JSONL result store with resume-on-rerun.
+
+One sweep run appends one JSON object per completed job to a ``.jsonl`` file.
+Append-only JSONL keeps concurrent sweeps cheap (no rewrite-the-world on every
+job) and makes resume trivial: a re-run loads the completed job IDs and skips
+them.  Records from interrupted runs survive, so a sweep can be killed and
+resumed without losing finished work.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator, Mapping
+from pathlib import Path
+
+
+class ResultStore:
+    """Append-only JSONL storage of sweep job records."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.records())
+
+    def append(self, record: Mapping) -> None:
+        """Durably append one job record (creates parent directories)."""
+        if "job_id" not in record:
+            raise KeyError("sweep records must carry a 'job_id'")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(dict(record), sort_keys=True) + "\n")
+
+    def records(self) -> Iterator[dict]:
+        """All stored records in append order (empty iterator if no file)."""
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    def completed_ids(self) -> set[str]:
+        """Job IDs that finished successfully (the resume skip-set).
+
+        Failed records stay in the file for post-mortems but are *not*
+        considered complete, so a resumed run retries them.
+        """
+        return {
+            record["job_id"]
+            for record in self.records()
+            if record.get("status", "ok") == "ok"
+        }
+
+    def latest_by_id(self) -> dict[str, dict]:
+        """Last record per job ID (a retry overrides its failed predecessor)."""
+        latest: dict[str, dict] = {}
+        for record in self.records():
+            latest[record["job_id"]] = record
+        return latest

@@ -80,6 +80,58 @@ class TestVerifyCommand:
         assert "all close" in out
 
 
+class TestSweepCommand:
+    def test_list_presets(self, capsys):
+        assert main(["sweep", "--list-presets"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "llm-inference" in out
+
+    def test_sweep_smoke_preset_happy_path(self, capsys, tmp_path):
+        out_path = tmp_path / "results.jsonl"
+        cache_path = tmp_path / "shapes.json"
+        code = main([
+            "sweep", "--preset", "smoke", "--workers", "1",
+            "--out", str(out_path), "--cache", str(cache_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out_path.exists()
+        assert cache_path.exists()
+        assert "per-scenario results" in out
+        assert "per-group summary" in out
+        assert "12/12 jobs executed" in out
+
+    def test_sweep_resume_executes_nothing(self, capsys, tmp_path):
+        out_path = tmp_path / "results.jsonl"
+        args = ["sweep", "--preset", "smoke", "--workers", "2", "--out", str(out_path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main([*args, "--resume"]) == 0
+        assert "0/12 jobs executed (12 resumed" in capsys.readouterr().out
+
+    def test_sweep_from_config_file(self, capsys, tmp_path):
+        import json
+
+        config = {
+            "name": "from-config",
+            "workload": "from-config",
+            "shapes": [[512, 1024, 1024]],
+            "platforms": [["rtx4090", "rtx4090-pcie", 4]],
+            "collectives": ["allreduce"],
+        }
+        config_path = tmp_path / "matrix.json"
+        config_path.write_text(json.dumps(config), encoding="utf-8")
+        code = main([
+            "sweep", "--config", str(config_path), "--out", str(tmp_path / "r.jsonl"),
+        ])
+        assert code == 0
+        assert "from-config: 1/1 jobs executed" in capsys.readouterr().out
+
+    def test_sweep_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            main(["sweep"])
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

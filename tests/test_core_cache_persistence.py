@@ -70,3 +70,35 @@ class TestFilePersistence:
         # The cached entry is reused; no new entry is added.
         assert len(loaded) == before
         assert result.partition == populated_cache.entries[0].result.partition
+
+
+class TestErgonomics:
+    def test_save_creates_parent_directories(self, populated_cache, tmp_path):
+        path = tmp_path / "deep" / "nested" / "dir" / "cache.json"
+        populated_cache.save(path)
+        assert path.exists()
+        assert len(GemmShapeCache.load(path)) == len(populated_cache)
+
+    def test_load_missing_path_raises_clear_error(self, tmp_path):
+        missing = tmp_path / "does_not_exist.json"
+        with pytest.raises(FileNotFoundError, match="missing_ok"):
+            GemmShapeCache.load(missing)
+
+    def test_load_missing_path_with_missing_ok_returns_empty(self, tmp_path):
+        cache = GemmShapeCache.load(tmp_path / "does_not_exist.json", missing_ok=True)
+        assert len(cache) == 0
+
+    def test_save_load_round_trip_through_new_directory(self, populated_cache, tmp_path, paper_problem_4090, settings):
+        path = tmp_path / "warm" / "shapes.json"
+        populated_cache.save(path)
+        loaded = GemmShapeCache.load(path, missing_ok=True)
+        assert loaded.lookup(paper_problem_4090, settings) is not None
+
+    def test_lookup_returns_none_on_miss(self, settings, paper_problem_4090):
+        assert GemmShapeCache().lookup(paper_problem_4090, settings) is None
+
+    def test_lookup_respects_max_distance(self, populated_cache, paper_problem_4090, settings):
+        hit = populated_cache.lookup(paper_problem_4090, settings, max_distance=1.0)
+        assert hit is not None
+        # An impossible distance bound turns the same query into a miss.
+        assert populated_cache.lookup(paper_problem_4090, settings, max_distance=-1.0) is None

@@ -1,0 +1,137 @@
+"""Tests for the declarative scenario matrix (repro.sweep.matrix/presets)."""
+
+import pytest
+
+from repro.core.config import OverlapSettings
+from repro.sweep.matrix import Platform, Scenario, ScenarioMatrix
+from repro.sweep.presets import matrix_from_preset, sweep_presets
+
+
+@pytest.fixture
+def small_matrix() -> ScenarioMatrix:
+    return ScenarioMatrix.build(
+        name="unit",
+        workload="unit",
+        shapes=[(512, 1024, 1024), (1024, 2048, 1024)],
+        platforms=[("rtx4090", "rtx4090-pcie", 4), ("a800", "a800-nvlink", 4)],
+        collectives=["allreduce", "reducescatter"],
+        seeds=[0, 1],
+    )
+
+
+class TestExpansion:
+    def test_cartesian_size(self, small_matrix):
+        # 2 shapes x 2 platforms x 2 collectives x 2 seeds
+        assert len(small_matrix.expand()) == 16
+
+    def test_expansion_is_deterministic(self, small_matrix):
+        first = [s.job_id for s in small_matrix.expand()]
+        second = [s.job_id for s in small_matrix.expand()]
+        assert first == second
+
+    def test_expansion_is_duplicate_free(self, small_matrix):
+        ids = [s.job_id for s in small_matrix.expand()]
+        assert len(ids) == len(set(ids))
+
+    def test_repeated_axis_values_collapse(self):
+        matrix = ScenarioMatrix.build(
+            name="dup",
+            workload="dup",
+            shapes=[(512, 1024, 1024), (512, 1024, 1024)],
+            platforms=[("rtx4090", "rtx4090-pcie", 4)],
+            collectives=["allreduce", "allreduce"],
+        )
+        assert len(matrix.expand()) == 1
+
+    def test_job_ids_are_content_derived(self):
+        a = Scenario(workload="w", m=512, n=1024, k=1024, device="rtx4090",
+                     topology="rtx4090-pcie", gpus=4, collective="allreduce")
+        b = Scenario(workload="w", m=512, n=1024, k=1024, device="rtx4090",
+                     topology="rtx4090-pcie", gpus=4, collective="allreduce")
+        c = Scenario(workload="w", m=512, n=1024, k=2048, device="rtx4090",
+                     topology="rtx4090-pcie", gpus=4, collective="allreduce")
+        assert a.job_id == b.job_id
+        assert a.job_id != c.job_id
+
+
+class TestScenarioMaterialisation:
+    def test_to_problem_round_trips_axes(self):
+        scenario = Scenario(workload="w", m=512, n=1024, k=1024, device="a800",
+                            topology="a800-nvlink", gpus=8, collective="reducescatter",
+                            imbalance=1.2)
+        problem = scenario.to_problem()
+        assert problem.shape.m == 512
+        assert problem.n_gpus == 8
+        assert problem.collective.short_name == "RS"
+        assert problem.imbalance == 1.2
+
+    def test_settings_overrides_apply(self):
+        scenario = Scenario(
+            workload="w", m=512, n=1024, k=1024, device="rtx4090",
+            topology="rtx4090-pcie", gpus=4, collective="allreduce",
+            seed=7, settings_overrides=(("max_last_group", 2.0), ("signal_poll_us", 5.0)),
+        )
+        settings = scenario.to_settings(OverlapSettings())
+        assert settings.max_last_group == 2
+        assert isinstance(settings.max_last_group, int)
+        assert settings.signal_poll_us == 5.0
+        assert settings.seed == 7
+
+    def test_unknown_settings_axis_rejected(self):
+        with pytest.raises(KeyError, match="unknown OverlapSettings axes"):
+            ScenarioMatrix.build(
+                name="bad", workload="bad",
+                shapes=[(512, 1024, 1024)],
+                platforms=[("rtx4090", "rtx4090-pcie", 4)],
+                collectives=["allreduce"],
+                settings_grid=[{"not_a_field": 1}],
+            )
+
+    def test_scenario_dict_round_trip(self):
+        scenario = Scenario(
+            workload="w", m=512, n=1024, k=1024, device="rtx4090",
+            topology="rtx4090-pcie", gpus=4, collective="allreduce",
+            imbalance=1.1, seed=3, settings_overrides=(("max_last_group", 3.0),),
+        )
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+
+class TestMatrixConfig:
+    def test_matrix_dict_round_trip(self, small_matrix):
+        rebuilt = ScenarioMatrix.from_dict(small_matrix.to_dict())
+        assert [s.job_id for s in rebuilt.expand()] == [s.job_id for s in small_matrix.expand()]
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioMatrix.build(name="x", workload="x", shapes=[],
+                                 platforms=[("rtx4090", "rtx4090-pcie", 4)],
+                                 collectives=["allreduce"])
+
+    def test_platform_needs_two_gpus(self):
+        with pytest.raises(ValueError):
+            Platform(device="rtx4090", topology="rtx4090-pcie", gpus=1)
+
+
+class TestPresets:
+    def test_every_preset_expands(self):
+        for name in sweep_presets():
+            scenarios = matrix_from_preset(name).expand()
+            assert scenarios, name
+            ids = [s.job_id for s in scenarios]
+            assert len(ids) == len(set(ids)), name
+
+    def test_every_preset_scenario_materialises(self):
+        # Every scenario of every preset must reconstruct into a live problem.
+        for name in sweep_presets():
+            for scenario in matrix_from_preset(name).expand():
+                problem = scenario.to_problem()
+                assert problem.output_bytes() > 0
+
+    def test_smoke_preset_is_at_least_twelve_cheap_scenarios(self):
+        scenarios = matrix_from_preset("smoke").expand()
+        assert len(scenarios) >= 12
+        assert all(s.m * s.n <= 2048 * 2048 for s in scenarios)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError, match="unknown sweep preset"):
+            matrix_from_preset("nope")

@@ -1,0 +1,195 @@
+"""Tests for the sweep runner, result store and aggregation layer."""
+
+import json
+
+import pytest
+
+from repro.core.tuner import GemmShapeCache
+from repro.sweep.aggregate import (
+    group_summary_table,
+    records_to_comparisons,
+    scenario_table,
+    summarize_by_group,
+)
+from repro.sweep.matrix import ScenarioMatrix
+from repro.sweep.runner import SweepRunner
+from repro.sweep.store import ResultStore
+
+
+@pytest.fixture
+def tiny_matrix() -> ScenarioMatrix:
+    """Four fast scenarios spanning two shapes and two collectives."""
+    return ScenarioMatrix.build(
+        name="tiny",
+        workload="tiny",
+        shapes=[(512, 1024, 1024), (2048, 2048, 2048)],
+        platforms=[("rtx4090", "rtx4090-pcie", 4)],
+        collectives=["allreduce", "reducescatter"],
+    )
+
+
+@pytest.fixture
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "results.jsonl")
+
+
+class TestResultStore:
+    def test_append_and_read_back(self, store):
+        store.append({"job_id": "a", "status": "ok"})
+        store.append({"job_id": "b", "status": "error"})
+        records = list(store.records())
+        assert [r["job_id"] for r in records] == ["a", "b"]
+
+    def test_append_creates_parent_directories(self, tmp_path):
+        nested = ResultStore(tmp_path / "deep" / "dir" / "r.jsonl")
+        nested.append({"job_id": "a"})
+        assert nested.path.exists()
+
+    def test_record_without_job_id_rejected(self, store):
+        with pytest.raises(KeyError):
+            store.append({"status": "ok"})
+
+    def test_completed_ids_exclude_failures(self, store):
+        store.append({"job_id": "good", "status": "ok"})
+        store.append({"job_id": "bad", "status": "error"})
+        assert store.completed_ids() == {"good"}
+
+    def test_missing_file_is_empty(self, store):
+        assert list(store.records()) == []
+        assert store.completed_ids() == set()
+
+    def test_latest_by_id_prefers_retry(self, store):
+        store.append({"job_id": "j", "status": "error"})
+        store.append({"job_id": "j", "status": "ok"})
+        assert store.latest_by_id()["j"]["status"] == "ok"
+
+    def test_file_is_one_json_object_per_line(self, store):
+        store.append({"job_id": "a", "speedup": 1.25})
+        lines = store.path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["speedup"] == 1.25
+
+
+class TestSweepRunner:
+    def test_runs_every_scenario(self, store, tiny_matrix):
+        summary = SweepRunner(store).run(tiny_matrix)
+        assert summary.total_scenarios == 4
+        assert summary.executed == 4
+        assert summary.failed == 0
+        assert store.completed_ids() == {s.job_id for s in tiny_matrix.expand()}
+
+    def test_records_carry_results(self, store, tiny_matrix):
+        summary = SweepRunner(store).run(tiny_matrix)
+        for record in summary.records:
+            assert record["status"] == "ok"
+            assert record["speedup"] > 0
+            assert record["overlap_latency"] > 0
+            assert record["non_overlap_latency"] > 0
+            assert record["partition"]
+            assert sum(record["partition"]) > 0
+
+    def test_resume_skips_completed_jobs(self, store, tiny_matrix):
+        SweepRunner(store).run(tiny_matrix)
+        resumed = SweepRunner(store, resume=True).run(tiny_matrix)
+        assert resumed.executed == 0
+        assert resumed.tuned == 0
+        assert resumed.skipped == 4
+
+    def test_resume_retries_failed_jobs(self, store, tiny_matrix):
+        scenarios = tiny_matrix.expand()
+        store.append({"job_id": scenarios[0].job_id, "status": "error", "error": "boom"})
+        summary = SweepRunner(store, resume=True).run(tiny_matrix)
+        assert summary.executed == 4  # the failed record does not count as done
+        assert store.completed_ids() == {s.job_id for s in scenarios}
+
+    def test_without_resume_jobs_rerun(self, store, tiny_matrix):
+        SweepRunner(store).run(tiny_matrix)
+        again = SweepRunner(store).run(tiny_matrix)
+        assert again.executed == 4
+
+    def test_worker_processes_match_in_process_results(self, tmp_path, tiny_matrix):
+        serial = SweepRunner(ResultStore(tmp_path / "serial.jsonl")).run(tiny_matrix)
+        parallel = SweepRunner(ResultStore(tmp_path / "parallel.jsonl"), workers=2).run(tiny_matrix)
+        by_id_serial = {r["job_id"]: r for r in serial.records}
+        by_id_parallel = {r["job_id"]: r for r in parallel.records}
+        assert by_id_serial.keys() == by_id_parallel.keys()
+        for job_id, record in by_id_serial.items():
+            other = by_id_parallel[job_id]
+            assert record["speedup"] == other["speedup"]
+            assert record["partition"] == other["partition"]
+            assert record["use_overlap"] == other["use_overlap"]
+
+    def test_store_order_is_deterministic_across_worker_counts(self, tmp_path, tiny_matrix):
+        store_a = ResultStore(tmp_path / "a.jsonl")
+        store_b = ResultStore(tmp_path / "b.jsonl")
+        SweepRunner(store_a, workers=1).run(tiny_matrix)
+        SweepRunner(store_b, workers=2).run(tiny_matrix)
+        order_a = [r["job_id"] for r in store_a.records()]
+        order_b = [r["job_id"] for r in store_b.records()]
+        assert order_a == order_b
+
+    def test_cache_warm_start_avoids_retuning(self, tmp_path, tiny_matrix):
+        cache_path = tmp_path / "cache.json"
+        first = SweepRunner(
+            ResultStore(tmp_path / "first.jsonl"), cache_path=str(cache_path)
+        ).run(tiny_matrix)
+        assert first.tuned == 4
+        assert cache_path.exists()
+
+        cache = GemmShapeCache.load(cache_path)
+        second = SweepRunner(ResultStore(tmp_path / "second.jsonl"), cache=cache).run(tiny_matrix)
+        assert second.tuned == 0
+        assert second.cache_hits == 4
+
+    def test_failed_scenario_recorded_not_raised(self, store):
+        # The topology name only resolves inside the job, so the failure
+        # surfaces as an error record rather than an exception in the runner.
+        matrix = ScenarioMatrix.build(
+            name="bad", workload="bad",
+            shapes=[(512, 1024, 1024)],
+            platforms=[("a800", "no-such-topology", 4)],
+            collectives=["allreduce"],
+        )
+        summary = SweepRunner(store).run(matrix)
+        assert summary.failed == 1
+        record = next(iter(store.records()))
+        assert record["status"] == "error"
+        assert "error" in record
+
+    def test_baselines_mode_adds_method_speedups(self, store, tiny_matrix):
+        summary = SweepRunner(store, baselines=True).run(tiny_matrix)
+        for record in summary.records:
+            assert "flashoverlap" in record["method_speedups"]
+            assert "vanilla-decomposition" in record["method_speedups"]
+
+
+class TestAggregation:
+    @pytest.fixture
+    def records(self, store, tiny_matrix):
+        return SweepRunner(store).run(tiny_matrix).records
+
+    def test_summarize_by_group(self, records):
+        summary = summarize_by_group(records)
+        assert sum(stats["count"] for stats in summary.values()) == len(records)
+        for stats in summary.values():
+            assert stats["min_speedup"] <= stats["mean_speedup"] <= stats["max_speedup"]
+
+    def test_scenario_table_lists_every_job(self, records):
+        table = scenario_table(records)
+        for record in records:
+            assert record["job_id"] in table
+
+    def test_group_summary_table_renders(self, records):
+        table = group_summary_table(records, keys=("collective",))
+        assert "allreduce" in table and "reducescatter" in table
+
+    def test_records_lift_into_analysis_comparisons(self, records):
+        comparisons = records_to_comparisons(records)
+        assert len(comparisons) == len(records)
+        for comparison in comparisons:
+            assert "flashoverlap" in comparison.speedups
+            assert comparison.problem.output_bytes() > 0
+
+    def test_failed_records_excluded_from_aggregation(self, records):
+        poisoned = records + [{"job_id": "x", "status": "error", "scenario": {}}]
+        assert len(records_to_comparisons(poisoned)) == len(records)
