@@ -39,17 +39,37 @@ class AnalyticBandwidthCurve:
             half_saturation_bytes=topology.half_saturation_bytes,
         )
 
-    def bandwidth(self, nbytes: float) -> float:
-        """Effective bandwidth (bytes/s) for a message of ``nbytes``."""
-        if nbytes <= 0:
-            return 0.0
-        return self.peak_bandwidth_bytes * nbytes / (nbytes + self.half_saturation_bytes)
+    def bandwidth(self, nbytes: float | np.ndarray) -> float | np.ndarray:
+        """Effective bandwidth (bytes/s) for a message of ``nbytes``.
 
-    def transfer_time(self, nbytes: float) -> float:
-        """Pure transfer time of ``nbytes`` (seconds), excluding base latency."""
-        if nbytes <= 0:
-            return 0.0
-        return nbytes / self.bandwidth(nbytes)
+        Accepts scalars or arrays; array inputs are evaluated element-wise in
+        one vectorized pass (the offline profiling loop samples the whole size
+        grid with a single call).
+        """
+        arr = np.asarray(nbytes, dtype=np.float64)
+        if arr.ndim == 0:
+            if nbytes <= 0:
+                return 0.0
+            return self.peak_bandwidth_bytes * nbytes / (nbytes + self.half_saturation_bytes)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            bw = self.peak_bandwidth_bytes * arr / (arr + self.half_saturation_bytes)
+        return np.where(arr <= 0, 0.0, bw)
+
+    def transfer_time(self, nbytes: float | np.ndarray) -> float | np.ndarray:
+        """Pure transfer time of ``nbytes`` (seconds), excluding base latency.
+
+        Scalar in, scalar out; array in, array out (element-wise identical to
+        the scalar path).
+        """
+        arr = np.asarray(nbytes, dtype=np.float64)
+        if arr.ndim == 0:
+            if nbytes <= 0:
+                return 0.0
+            return nbytes / self.bandwidth(nbytes)
+        bw = self.peak_bandwidth_bytes * arr / (arr + self.half_saturation_bytes)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            time = arr / bw
+        return np.where(arr <= 0, 0.0, time)
 
     def utilization(self, nbytes: float) -> float:
         """Fraction of peak bandwidth achieved at this message size."""
@@ -96,23 +116,45 @@ class SampledBandwidthCurve:
     def num_samples(self) -> int:
         return int(self.sizes_bytes.size)
 
-    def bandwidth(self, nbytes: float) -> float:
-        """Interpolated effective bandwidth at ``nbytes``."""
-        if nbytes <= 0:
-            return 0.0
-        return nbytes / self.transfer_time(nbytes)
+    def bandwidth(self, nbytes: float | np.ndarray) -> float | np.ndarray:
+        """Interpolated effective bandwidth at ``nbytes`` (scalar or array)."""
+        arr = np.asarray(nbytes, dtype=np.float64)
+        if arr.ndim == 0:
+            if nbytes <= 0:
+                return 0.0
+            return nbytes / self.transfer_time(nbytes)
+        time = self.transfer_time(arr)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            bw = arr / time
+        return np.where(arr <= 0, 0.0, bw)
 
-    def transfer_time(self, nbytes: float) -> float:
-        """Interpolated transfer time at ``nbytes`` (seconds)."""
-        if nbytes <= 0:
-            return 0.0
+    def transfer_time(self, nbytes: float | np.ndarray) -> float | np.ndarray:
+        """Interpolated transfer time at ``nbytes`` (seconds).
+
+        Accepts scalars or arrays.  The array path evaluates every message
+        size in one vectorized pass and is element-wise identical to the
+        scalar path (the batch latency predictor relies on this).
+        """
+        arr = np.asarray(nbytes, dtype=np.float64)
         times = self.sizes_bytes / self.bandwidths_bytes
-        if nbytes <= self.sizes_bytes[0]:
-            # Below the smallest sample: scale the first point's bandwidth.
-            return nbytes / self.bandwidths_bytes[0] + (times[0] - self.sizes_bytes[0] / self.bandwidths_bytes[0])
-        if nbytes >= self.sizes_bytes[-1]:
-            return nbytes / self.bandwidths_bytes[-1]
-        return float(np.interp(nbytes, self.sizes_bytes, times))
+        if arr.ndim == 0:
+            if nbytes <= 0:
+                return 0.0
+            if nbytes <= self.sizes_bytes[0]:
+                # Below the smallest sample: scale the first point's bandwidth.
+                return nbytes / self.bandwidths_bytes[0] + (times[0] - self.sizes_bytes[0] / self.bandwidths_bytes[0])
+            if nbytes >= self.sizes_bytes[-1]:
+                return nbytes / self.bandwidths_bytes[-1]
+            return float(np.interp(nbytes, self.sizes_bytes, times))
+        out = np.interp(arr, self.sizes_bytes, times)
+        below = arr <= self.sizes_bytes[0]
+        if below.any():
+            low = arr / self.bandwidths_bytes[0] + (times[0] - self.sizes_bytes[0] / self.bandwidths_bytes[0])
+            out = np.where(below, low, out)
+        above = arr >= self.sizes_bytes[-1]
+        if above.any():
+            out = np.where(above, arr / self.bandwidths_bytes[-1], out)
+        return np.where(arr <= 0, 0.0, out)
 
 
 def default_sample_sizes(min_bytes: int = 64 * 1024, max_bytes: int = 1 << 30,
@@ -138,7 +180,7 @@ def sample_bandwidth(
     predictor error studied in Fig. 15.
     """
     sizes = default_sample_sizes() if sizes_bytes is None else np.asarray(sizes_bytes, dtype=np.float64)
-    bws = np.array([curve.bandwidth(s) for s in sizes], dtype=np.float64)
+    bws = np.asarray(curve.bandwidth(sizes), dtype=np.float64)
     if noise > 0:
         rng = np.random.default_rng(seed)
         bws = bws * (1.0 + rng.uniform(-noise, noise, size=bws.shape))

@@ -13,6 +13,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.comm.bandwidth import AnalyticBandwidthCurve, SampledBandwidthCurve
 from repro.comm.topology import Topology
 
@@ -125,6 +127,20 @@ class CollectiveModel:
         else:  # pragma: no cover - defensive
             transfer = wire / self.curve.bandwidth(wire)
         return self.setup_latency() + transfer
+
+    def latency_array(self, payload_bytes) -> np.ndarray:
+        """Vectorized :meth:`latency` over an array of per-rank payloads.
+
+        Element-wise identical to the scalar path (same operation order), so
+        the batch latency predictor can rank candidates bit-identically to the
+        per-candidate reference.
+        """
+        payloads = np.asarray(payload_bytes, dtype=np.float64)
+        if np.any(payloads < 0):
+            raise ValueError("payload_bytes must be non-negative")
+        wire = self.volume_factor() * payloads
+        transfer = self.curve.transfer_time(wire)
+        return np.where(payloads == 0.0, 0.0, self.setup_latency() + transfer)
 
     def effective_bandwidth(self, payload_bytes: float) -> float:
         """Observed algorithm bandwidth: payload divided by call latency."""

@@ -66,6 +66,7 @@ class OverlapExecutor:
         self.compute_sms = problem.compute_sm_count()
         self.gemm_contended = problem.gemm_model()
         self.comm_model: CollectiveModel = problem.collective_model()
+        self._wave_tiles: list[list[int]] | None = None
 
     # -- basic quantities -----------------------------------------------------
 
@@ -74,7 +75,11 @@ class OverlapExecutor:
         return self.gemm_contended.num_waves(self.compute_sms)
 
     def wave_tiles(self) -> list[list[int]]:
-        return self.gemm_contended.wave_tiles(self.compute_sms)
+        """Per-wave tile lists (memoized: the swizzled execution order is
+        identical for every candidate an exhaustive search simulates)."""
+        if self._wave_tiles is None:
+            self._wave_tiles = self.gemm_contended.wave_tiles(self.compute_sms)
+        return self._wave_tiles
 
     def assignment(self, partition: WavePartition) -> GroupAssignment:
         return GroupAssignment.build(partition, self.wave_tiles())

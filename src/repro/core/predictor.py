@@ -11,7 +11,9 @@ bias of the actual latency over the prediction reported in Fig. 15.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -22,8 +24,61 @@ from repro.comm.bandwidth import (
     sample_bandwidth,
 )
 from repro.comm.primitives import CollectiveModel
+from repro.comm.topology import Topology
 from repro.core.config import OverlapProblem, OverlapSettings, DEFAULT_SETTINGS
-from repro.core.wave_grouping import WavePartition
+from repro.core.wave_grouping import PartitionMatrix, WavePartition, candidate_partitions_matrix
+
+
+# ---------------------------------------------------------------------------
+# Offline-profile memoization
+# ---------------------------------------------------------------------------
+#
+# The offline stage is deterministic in (problem, settings): the sampled
+# bandwidth curve depends only on (topology, sample density, noise, seed) and
+# the GEMM-side quantities only on the problem definition.  Both are therefore
+# memoized at process level, so repeated tuner calls -- a sweep worker
+# executing many jobs, the shape-cache warm-start path re-tuning near misses,
+# a benchmark re-ranking candidates -- rebuild neither the curve nor the
+# profile.  ``clear_profile_caches`` exists for benchmarks that want to time
+# the cold path.
+
+
+@lru_cache(maxsize=256)
+def _cached_sampled_curve(
+    topology: Topology, points_per_decade: int, noise: float, seed: int
+) -> SampledBandwidthCurve:
+    """Sampled bandwidth curve keyed by (topology, sampling settings)."""
+    analytic = AnalyticBandwidthCurve.for_topology(topology)
+    curve = sample_bandwidth(
+        analytic,
+        default_sample_sizes(points_per_decade=points_per_decade),
+        noise=noise,
+        seed=seed,
+    )
+    # Shared across profiles: guard against accidental in-place edits.
+    curve.sizes_bytes.setflags(write=False)
+    curve.bandwidths_bytes.setflags(write=False)
+    return curve
+
+
+def profile_cache_info() -> dict[str, int]:
+    """Hit/miss/size counters of the process-level offline-profile caches."""
+    profile = OfflineProfile.cached.cache_info()
+    curve = _cached_sampled_curve.cache_info()
+    return {
+        "profile_hits": profile.hits,
+        "profile_misses": profile.misses,
+        "profile_size": profile.currsize,
+        "curve_hits": curve.hits,
+        "curve_misses": curve.misses,
+        "curve_size": curve.currsize,
+    }
+
+
+def clear_profile_caches() -> None:
+    """Drop memoized offline profiles and sampled curves (cold-path timing)."""
+    OfflineProfile.cached.cache_clear()
+    _cached_sampled_curve.cache_clear()
 
 
 @dataclass(frozen=True)
@@ -60,12 +115,11 @@ class OfflineProfile:
         wave_bytes = gemm.wave_size(compute_sms) * problem.tile_config().tile_bytes(
             problem.dtype_bytes
         )
-        analytic = AnalyticBandwidthCurve.for_topology(problem.topology)
-        sampled = sample_bandwidth(
-            analytic,
-            default_sample_sizes(points_per_decade=settings.bandwidth_samples_per_decade),
-            noise=settings.bandwidth_profile_noise,
-            seed=settings.seed,
+        sampled = _cached_sampled_curve(
+            problem.topology,
+            settings.bandwidth_samples_per_decade,
+            settings.bandwidth_profile_noise,
+            settings.seed,
         )
         comm_model = problem.collective_model().with_curve(sampled)
         return cls(
@@ -76,6 +130,23 @@ class OfflineProfile:
             sequential_compute_time=gemm.duration(include_launch=False),
             imbalance=problem.imbalance,
         )
+
+    @classmethod
+    @lru_cache(maxsize=1024)
+    def cached(
+        cls, problem: OverlapProblem, settings: OverlapSettings = DEFAULT_SETTINGS
+    ) -> "OfflineProfile":
+        """Memoized :meth:`build`, shared across tuner calls within a process.
+
+        The cache key is the full problem definition (device, topology,
+        collective, GEMM shape/config, dtype, imbalance) plus the settings;
+        the sampled bandwidth curve underneath is additionally shared across
+        *all* shapes of the same (topology, sampling settings) bucket.  The
+        profile is frozen and only ever read, so sharing one instance across
+        callers -- including sweep jobs running in the same worker process --
+        is safe.
+        """
+        return cls.build(problem, settings)
 
     def total_output_bytes(self, problem_bytes: float | None = None) -> float:
         """Total bytes the collective must move (defaults to full waves)."""
@@ -155,8 +226,62 @@ class LatencyPredictor:
         return PredictedTimeline(compute_end=compute_end, comm_start=comm_start, comm_end=comm_end)
 
     def predict(self, partition: WavePartition) -> float:
-        """Predicted total latency of the overlapped execution."""
+        """Predicted total latency of the overlapped execution.
+
+        This is the scalar reference implementation; the tuner's fast path is
+        :meth:`predict_batch`, which is asserted bit-identical to this one by
+        the equivalence test suite.
+        """
         return self.timeline(partition).latency
+
+    def predict_batch(
+        self, partitions: Sequence[WavePartition] | PartitionMatrix
+    ) -> np.ndarray:
+        """Predicted latency of every candidate partition in one vectorized pass.
+
+        Candidates are encoded as a padded :class:`PartitionMatrix` (zero-size
+        padding groups contribute zero compute and zero payload, so they leave
+        each candidate's timeline untouched).  Every arithmetic step mirrors
+        the scalar :meth:`predict` element-for-element -- same operation order,
+        same interpolation -- so the returned latencies are bit-identical to
+        calling :meth:`predict` per candidate, and ``argmin`` picks the same
+        winner the scalar loop would.
+        """
+        matrix = (
+            partitions
+            if isinstance(partitions, PartitionMatrix)
+            else candidate_partitions_matrix(list(partitions))
+        )
+        if matrix.num_candidates == 0:
+            return np.empty(0, dtype=np.float64)
+        if not np.all(matrix.total_waves == self.profile.num_waves):
+            bad = int(matrix.total_waves[matrix.total_waves != self.profile.num_waves][0])
+            raise ValueError(
+                f"partition covers {bad} waves, but the profile has {self.profile.num_waves}"
+            )
+        sizes = matrix.sizes.astype(np.float64)
+
+        # Per-group payloads: full waves, overflow absorbed by the last group.
+        # Sizes and wave_bytes are integer-valued, so the row sums are exact in
+        # any summation order and the overflow adjustment matches the scalar
+        # path bit for bit.
+        raw = sizes * self.profile.wave_bytes
+        overflow = raw.sum(axis=1) - self._total_bytes
+        last = matrix.counts - 1
+        clip = np.flatnonzero(overflow > 0)
+        if clip.size:
+            raw[clip, last[clip]] = np.maximum(0.0, raw[clip, last[clip]] - overflow[clip])
+        comm = self.profile.comm_model.latency_array(raw * self.profile.imbalance)
+
+        compute_end = np.cumsum(sizes * self.profile.wave_time * self.profile.imbalance, axis=1)
+
+        # The serialization recurrence of ``timeline`` across all candidates at
+        # once: one short loop over group slots, vectorized over candidates.
+        previous_end = np.zeros(matrix.num_candidates, dtype=np.float64)
+        for group in range(matrix.max_groups):
+            start = np.maximum(compute_end[:, group], previous_end)
+            previous_end = start + comm[:, group]
+        return previous_end
 
     def predict_non_overlap(self) -> float:
         """Predicted latency of the sequential (non-overlapped) execution.

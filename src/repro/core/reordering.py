@@ -27,7 +27,13 @@ from repro.comm.primitives import CollectiveKind
 from repro.core.signaling import CountingTable, GroupAssignment
 from repro.tensor.layout import TileLayout
 from repro.tensor.mapping import MappingTable
-from repro.tensor.tiles import gather_tiles, scatter_tiles
+from repro.tensor.tiles import (
+    gather_tiles,
+    gather_tiles_indexed,
+    scatter_tiles,
+    scatter_tiles_indexed,
+    tile_flat_indices,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -49,8 +55,38 @@ class GroupReorderPlan:
 
 
 @dataclass(frozen=True)
+class SubtokenIndex:
+    """Precomputed sub-token routing index of one wave group (All-to-All).
+
+    One "sub-token" is the segment of one matrix row inside one tile.  Arrays
+    are ordered tile-major then row-major, matching the pack order of the
+    per-row reference loop:
+
+    * ``rows[t]`` / ``col_blocks[t]`` / ``lengths[t]`` -- source row, tile
+      column block and element count of sub-token ``t``,
+    * ``flat_indices`` -- flat matrix index of every sub-token element,
+      concatenated in sub-token order,
+    * ``token_of_elem`` -- sub-token id of every entry of ``flat_indices``
+      (``np.repeat`` expansion used to mask elements by destination GPU).
+    """
+
+    rows: np.ndarray
+    col_blocks: np.ndarray
+    lengths: np.ndarray
+    flat_indices: np.ndarray
+    token_of_elem: np.ndarray
+
+
+@dataclass(frozen=True)
 class ReorderPlan:
-    """Full reordering plan of one overlapped operator."""
+    """Full reordering plan of one overlapped operator.
+
+    Beyond the per-group packing orders, the plan lazily precomputes (and
+    caches) the flat index permutations that turn every pre/post-communication
+    reorder into a single ``np.take`` / fancy-index assignment -- the
+    per-tile/per-row loops in :mod:`repro.tensor.tiles` remain as the
+    reference implementation the cached indices are validated against.
+    """
 
     collective: CollectiveKind
     layout: TileLayout
@@ -60,6 +96,92 @@ class ReorderPlan:
     @property
     def num_groups(self) -> int:
         return len(self.groups)
+
+    # -- cached index permutations (the reorder fast path) ---------------------
+
+    def _index_cache(self) -> dict:
+        cache = self.__dict__.get("_cached_indices")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_cached_indices", cache)
+        return cache
+
+    def group_flat_indices(self, group_index: int) -> np.ndarray:
+        """Flat matrix indices of one group's tile-level packing order.
+
+        ``matrix.flat[result]`` equals ``gather_tiles(matrix, layout,
+        tile_order)``; computed once per (plan, group) and reused by every
+        pipeline execution.
+        """
+        cache = self._index_cache()
+        key = ("tile", group_index)
+        if key not in cache:
+            cache[key] = tile_flat_indices(self.layout, self.groups[group_index].tile_order)
+        return cache[key]
+
+    def group_subtile_indices(self, group_index: int) -> np.ndarray:
+        """Flat matrix indices of one group's ReduceScatter packing order.
+
+        The NCCL ReduceScatter buffer holds, for each destination GPU ``k``,
+        the ``k``-th row block of every tile in the group; the returned
+        permutation is ordered ``k``-major so that slicing it into ``n_gpus``
+        equal chunks yields each GPU's sub-tile indices.
+        """
+        cache = self._index_cache()
+        key = ("subtile", group_index)
+        if key not in cache:
+            sub_rows = self.layout.tile_m // self.n_gpus
+            order = self.groups[group_index].tile_order
+            cache[key] = np.concatenate(
+                [
+                    tile_flat_indices(self.layout, order, row_limit=(k * sub_rows, (k + 1) * sub_rows))
+                    for k in range(self.n_gpus)
+                ]
+            )
+        return cache[key]
+
+    def group_subtile_rows(self, group_index: int) -> list[list[int]]:
+        """Matrix rows GPU ``k`` owns after ReduceScatter of one group."""
+        cache = self._index_cache()
+        key = ("subtile_rows", group_index)
+        if key not in cache:
+            sub_rows = self.layout.tile_m // self.n_gpus
+            rows_per_gpu = []
+            for k in range(self.n_gpus):
+                rows: list[int] = []
+                for tile in self.groups[group_index].tile_order:
+                    rs, _ = self.layout.tile_slices(tile)
+                    rows.extend(range(rs.start + k * sub_rows, rs.start + (k + 1) * sub_rows))
+                rows_per_gpu.append(rows)
+            cache[key] = rows_per_gpu
+        return cache[key]
+
+    def group_subtoken_index(self, group_index: int) -> SubtokenIndex:
+        """Precomputed sub-token index of one group (All-to-All fast path)."""
+        cache = self._index_cache()
+        key = ("subtoken", group_index)
+        if key not in cache:
+            order = self.groups[group_index].tile_order
+            rows_parts, cb_parts, len_parts = [], [], []
+            for tile in order:
+                rs, cs = self.layout.tile_slices(tile)
+                _, col_block = self.layout.tile_coords(tile)
+                tile_rows = np.arange(rs.start, rs.stop, dtype=np.int64)
+                rows_parts.append(tile_rows)
+                cb_parts.append(np.full(tile_rows.size, col_block, dtype=np.int64))
+                len_parts.append(np.full(tile_rows.size, cs.stop - cs.start, dtype=np.int64))
+            rows = np.concatenate(rows_parts) if rows_parts else np.empty(0, dtype=np.int64)
+            lengths = np.concatenate(len_parts) if len_parts else np.empty(0, dtype=np.int64)
+            cache[key] = SubtokenIndex(
+                rows=rows,
+                col_blocks=np.concatenate(cb_parts) if cb_parts else np.empty(0, dtype=np.int64),
+                lengths=lengths,
+                # Row-major within each tile, tiles in pack order: the same
+                # permutation gather_tiles would realize, element for element.
+                flat_indices=tile_flat_indices(self.layout, order),
+                token_of_elem=np.repeat(np.arange(rows.size, dtype=np.int64), lengths),
+            )
+        return cache[key]
 
     def global_mapping(self) -> MappingTable:
         """Tile-level mapping table across all groups (Fig. 5's table)."""
@@ -159,11 +281,16 @@ def run_allreduce_pipeline(
     plan: ReorderPlan,
     assignment: GroupAssignment | None = None,
     execution_order: Sequence[int] | None = None,
+    fast: bool = True,
 ) -> PipelineResult:
     """AllReduce with tile-level reordering (Fig. 7(d)).
 
     Every GPU contributes a partial GEMM output of identical shape; the result
-    on every GPU is the element-wise sum, in the original layout.
+    on every GPU is the element-wise sum, in the original layout.  With
+    ``fast=True`` (default) both reorders use the plan's cached flat index
+    permutation (one ``np.take`` / fancy-index assignment per group);
+    ``fast=False`` runs the per-tile reference loops the fast path is
+    validated against.
     """
     layout = plan.layout
     for matrix in matrices:
@@ -175,17 +302,25 @@ def run_allreduce_pipeline(
     if assignment is not None and execution_order is not None:
         table = _replay_signals(assignment, execution_order)
 
+    inputs = [np.asarray(m, dtype=np.float64) for m in matrices]
     outputs = [np.zeros((layout.m, layout.n), dtype=np.float64) for _ in matrices]
     for group in plan.groups:
         if table is not None:
             table.assert_ready(group.group_index)
         # Pre-communication reorder: pack the group's tiles contiguously.
-        buffers = [gather_tiles(np.asarray(m, dtype=np.float64), layout, group.tile_order) for m in matrices]
+        if fast:
+            indices = plan.group_flat_indices(group.group_index)
+            buffers = [gather_tiles_indexed(m, indices) for m in inputs]
+        else:
+            buffers = [gather_tiles(m, layout, group.tile_order) for m in inputs]
         # Communication-agnostic NCCL call on the contiguous buffers.
         reduced = all_reduce(buffers)
         # Post-communication reorder: scatter tiles back to their addresses.
         for gpu, out in enumerate(outputs):
-            scatter_tiles(out, layout, group.tile_order, reduced[gpu])
+            if fast:
+                scatter_tiles_indexed(out, indices, reduced[gpu])
+            else:
+                scatter_tiles(out, layout, group.tile_order, reduced[gpu])
     return PipelineResult(outputs=outputs, reference=reference, groups_communicated=plan.num_groups)
 
 
@@ -212,6 +347,7 @@ def run_reduce_scatter_pipeline(
     elementwise: Callable[[np.ndarray], np.ndarray] | None = None,
     assignment: GroupAssignment | None = None,
     execution_order: Sequence[int] | None = None,
+    fast: bool = True,
 ) -> PipelineResult:
     """ReduceScatter with sub-tile reordering, followed by the element-wise
     operator and the AllGather + row exchange that restore the layout
@@ -222,7 +358,9 @@ def run_reduce_scatter_pipeline(
     ReduceScatter -> element-wise -> AllGather pipeline.  ``extras`` carries
     the per-GPU rows owned between RS and AG, so tests can verify that every
     owned row is complete on a single GPU (the property the element-wise
-    operator needs).
+    operator needs).  ``fast=True`` (default) packs and unpacks the sub-tile
+    buffers through the plan's cached index permutation; ``fast=False`` runs
+    the per-tile reference loops.
     """
     layout = plan.layout
     n = plan.n_gpus
@@ -232,7 +370,8 @@ def run_reduce_scatter_pipeline(
     op = elementwise if elementwise is not None else (lambda x: x)
 
     # Reference: standard RS along rows, element-wise on each shard, AllGather.
-    total = np.sum(np.stack([np.asarray(m, dtype=np.float64) for m in matrices]), axis=0)
+    inputs = [np.asarray(m, dtype=np.float64) for m in matrices]
+    total = np.sum(np.stack(inputs), axis=0)
     reference_full = op(total)
     reference = [reference_full.copy() for _ in range(n)]
 
@@ -250,9 +389,21 @@ def run_reduce_scatter_pipeline(
         # Pre-communication reorder: for NCCL ReduceScatter the buffer is laid
         # out so that the k-th contiguous chunk holds the k-th sub-tile of
         # every tile in the group.
+        if fast:
+            indices = plan.group_subtile_indices(group.group_index)
+            buffers = [gather_tiles_indexed(matrix, indices) for matrix in inputs]
+            received = reduce_scatter_flat(buffers)
+            # Unpack: GPU k received the reduced k-th sub-tile of every tile.
+            chunk_size = indices.size // n
+            group_rows = plan.group_subtile_rows(group.group_index)
+            for k in range(n):
+                scatter_tiles_indexed(
+                    owned_values[k], indices[k * chunk_size : (k + 1) * chunk_size], received[k]
+                )
+                owned_rows[k].update(group_rows[k])
+            continue
         buffers = []
-        for matrix in matrices:
-            matrix = np.asarray(matrix, dtype=np.float64)
+        for matrix in inputs:
             chunks = []
             for k in range(n):
                 for tile in group.tile_order:
@@ -309,13 +460,17 @@ def run_all_to_all_pipeline(
     plans: Sequence[ReorderPlan],
     assignments: Sequence[GroupAssignment] | None = None,
     execution_orders: Sequence[Sequence[int]] | None = None,
+    fast: bool = True,
 ) -> PipelineResult:
     """All-to-All with sub-token reordering (Fig. 7(f)).
 
     Every source GPU owns a token matrix (its local GEMM output) plus a
     destination GPU per token; tokens must arrive at their destination as
     complete rows, ordered by (source GPU, source row).  Each source GPU may
-    have its own tile layout and wave grouping (``plans[src]``).
+    have its own tile layout and wave grouping (``plans[src]``).  ``fast=True``
+    (default) packs each round's memory pools through the plans' cached
+    sub-token indices (one masked gather per destination); ``fast=False`` runs
+    the per-row reference loop.
     """
     n = len(matrices)
     if len(destinations) != n or len(plans) != n:
@@ -331,12 +486,102 @@ def run_all_to_all_pipeline(
             for assignment, order in zip(assignments, execution_orders)
         ]
 
+    inputs = [np.asarray(m, dtype=np.float64) for m in matrices]
+    dest_arrays = [np.asarray(d) for d in destinations]
+
+    max_groups = max(plan.num_groups for plan in plans)
+    if fast:
+        outputs = _all_to_all_fast(inputs, dest_arrays, plans, tables, max_groups)
+    else:
+        outputs = _all_to_all_reference(inputs, dest_arrays, plans, tables, max_groups)
+    return PipelineResult(outputs=outputs, reference=reference, groups_communicated=max_groups)
+
+
+def _all_to_all_fast(
+    inputs: list[np.ndarray],
+    dest_arrays: list[np.ndarray],
+    plans: Sequence[ReorderPlan],
+    tables: Sequence[CountingTable | None],
+    max_groups: int,
+) -> list[np.ndarray]:
+    """Index-based All-to-All execution.
+
+    Per round and source, sub-tokens are selected by destination with one
+    mask over the plan's precomputed :class:`SubtokenIndex` and gathered with
+    one ``np.take``.  The receive side exploits that the flat indices are
+    shared knowledge: each destination scatters the incoming buffer straight
+    into a per-source landing matrix at the *source* coordinates, so tokens
+    reassemble with no per-token Python work.  Element counts per source row
+    track completeness (a complete token has received ``layout.n`` elements).
+    """
+    n = len(inputs)
+    land = [[np.zeros(plans[src].layout.m * plans[src].layout.n) for src in range(n)] for _ in range(n)]
+    received_elems = [[np.zeros(plans[src].layout.m, dtype=np.int64) for src in range(n)] for _ in range(n)]
+
+    for group_round in range(max_groups):
+        payload: list[list[np.ndarray]] = [[np.empty(0) for _ in range(n)] for _ in range(n)]
+        # (rows, lengths, flat indices) per packed pool; the indices travel as
+        # shared knowledge, like the mapping tables on the real system.
+        meta: list[list[tuple | None]] = [[None for _ in range(n)] for _ in range(n)]
+        for src in range(n):
+            plan = plans[src]
+            if group_round >= plan.num_groups:
+                continue
+            group = plan.groups[group_round]
+            if tables[src] is not None:
+                tables[src].assert_ready(group.group_index)
+            index = plan.group_subtoken_index(group.group_index)
+            token_dst = dest_arrays[src][index.rows]
+            for dst in range(n):
+                token_mask = token_dst == dst
+                if not token_mask.any():
+                    continue
+                elem_mask = token_mask[index.token_of_elem]
+                selected = index.flat_indices[elem_mask]
+                payload[src][dst] = gather_tiles_indexed(inputs[src], selected)
+                meta[src][dst] = (index.rows[token_mask], index.lengths[token_mask], selected)
+        received = all_to_all(payload)
+        for dst in range(n):
+            for src in range(n):
+                if meta[src][dst] is None:
+                    continue
+                rows, lengths, selected = meta[src][dst]
+                scatter_tiles_indexed(land[dst][src], selected, received[dst][src])
+                np.add.at(received_elems[dst][src], rows, lengths)
+
+    outputs = []
+    for dst in range(n):
+        parts = []
+        for src in range(n):
+            layout = plans[src].layout
+            counts = received_elems[dst][src]
+            partial = np.flatnonzero((counts > 0) & (counts != layout.n))
+            if partial.size:
+                raise ValueError(
+                    f"token (src={src}, row={int(partial[0])}) arrived incomplete at GPU {dst}"
+                )
+            complete = np.flatnonzero(counts == layout.n)
+            if complete.size:
+                parts.append(land[dst][src].reshape(layout.m, layout.n)[complete])
+        width = plans[0].layout.n
+        outputs.append(np.concatenate(parts) if parts else np.empty((0, width)))
+    return outputs
+
+
+def _all_to_all_reference(
+    inputs: list[np.ndarray],
+    dest_arrays: list[np.ndarray],
+    plans: Sequence[ReorderPlan],
+    tables: Sequence[CountingTable | None],
+    max_groups: int,
+) -> list[np.ndarray]:
+    """Per-row reference execution the index fast path is validated against."""
+    n = len(inputs)
     # recv[dst][src] maps source row -> {col_block -> data}
     recv: list[list[dict[int, dict[int, np.ndarray]]]] = [
         [dict() for _ in range(n)] for _ in range(n)
     ]
 
-    max_groups = max(plan.num_groups for plan in plans)
     for group_round in range(max_groups):
         # Each source packs one memory pool per destination for this round.
         send: list[list[list[_Subtoken]]] = [[[] for _ in range(n)] for _ in range(n)]
@@ -347,8 +592,8 @@ def run_all_to_all_pipeline(
             group = plan.groups[group_round]
             if tables[src] is not None:
                 tables[src].assert_ready(group.group_index)
-            matrix = np.asarray(matrices[src], dtype=np.float64)
-            dests = np.asarray(destinations[src])
+            matrix = inputs[src]
+            dests = dest_arrays[src]
             layout = plan.layout
             for tile in group.tile_order:
                 rs, cs = layout.tile_slices(tile)
@@ -398,7 +643,7 @@ def run_all_to_all_pipeline(
                 rows.append(np.concatenate([blocks[cb] for cb in range(expected_blocks)]))
         width = plans[0].layout.n
         outputs.append(np.stack(rows) if rows else np.empty((0, width)))
-    return PipelineResult(outputs=outputs, reference=reference, groups_communicated=max_groups)
+    return outputs
 
 
 # ---------------------------------------------------------------------------

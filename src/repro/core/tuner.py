@@ -13,10 +13,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.config import DEFAULT_SETTINGS, OverlapProblem, OverlapSettings
 from repro.core.executor import OverlapExecutor
 from repro.core.predictor import LatencyPredictor, OfflineProfile
-from repro.core.wave_grouping import WavePartition, candidate_partitions
+from repro.core.wave_grouping import WavePartition, candidate_partitions, candidate_partitions_matrix
 from repro.gpu.gemm import GemmShape
 
 
@@ -46,10 +48,19 @@ class TuningResult:
 
 
 class PredictiveTuner:
-    """Pick the wave-group partition with the lowest *predicted* latency."""
+    """Pick the wave-group partition with the lowest *predicted* latency.
 
-    def __init__(self, settings: OverlapSettings = DEFAULT_SETTINGS) -> None:
+    By default the tuner ranks all candidates with the vectorized
+    :meth:`~repro.core.predictor.LatencyPredictor.predict_batch` fast path and
+    reuses the memoized :meth:`OfflineProfile.cached` offline stage.  Pass
+    ``vectorized=False`` to run the scalar per-candidate reference loop; both
+    paths produce bit-identical tuning decisions (asserted by the equivalence
+    tests), so the scalar path exists purely as the cross-checked reference.
+    """
+
+    def __init__(self, settings: OverlapSettings = DEFAULT_SETTINGS, vectorized: bool = True) -> None:
         self.settings = settings
+        self.vectorized = vectorized
 
     def candidates(self, num_waves: int) -> list[WavePartition]:
         return candidate_partitions(
@@ -60,23 +71,26 @@ class PredictiveTuner:
         )
 
     def tune(self, problem: OverlapProblem, profile: OfflineProfile | None = None) -> TuningResult:
-        profile = profile or OfflineProfile.build(problem, self.settings)
+        profile = profile or OfflineProfile.cached(problem, self.settings)
         predictor = LatencyPredictor(profile, total_bytes=problem.output_bytes())
-        best: WavePartition | None = None
-        best_latency = math.inf
-        count = 0
-        for partition in self.candidates(profile.num_waves):
-            count += 1
-            latency = predictor.predict(partition)
-            if latency < best_latency:
-                best, best_latency = partition, latency
+        candidates = self.candidates(profile.num_waves)
+        if self.vectorized:
+            latencies = predictor.predict_batch(candidate_partitions_matrix(candidates))
+            index = int(np.argmin(latencies))
+            best, best_latency = candidates[index], float(latencies[index])
+        else:
+            best, best_latency = None, math.inf
+            for partition in candidates:
+                latency = predictor.predict(partition)
+                if latency < best_latency:
+                    best, best_latency = partition, latency
         if best is None:  # pragma: no cover - defensive
             raise RuntimeError("no candidate partitions were generated")
         use_overlap = best_latency <= predictor.predict_non_overlap()
         return TuningResult(
             partition=best,
             predicted_latency=best_latency,
-            candidates_evaluated=count,
+            candidates_evaluated=len(candidates),
             method="predictive",
             use_overlap=use_overlap,
         )
@@ -88,10 +102,20 @@ class ExhaustiveTuner:
     This is the paper's exhaustive online-profiling search: accurate but far
     too slow to run per shape in production, so it serves as the quality
     reference for the predictive search.
+
+    The default ``incremental=True`` path precomputes the per-wave state every
+    candidate shares (wave completion times, per-wave payload prefix sums,
+    signal-ready times), replays only each candidate's group sequence on top
+    of it, reuses the simulation state of the group prefix shared with the
+    previous candidate, and abandons a candidate as soon as its partial
+    timeline already exceeds the incumbent best.  It selects the same
+    partition at the same latency as running :meth:`OverlapExecutor.simulate`
+    per candidate (``incremental=False``, the cross-checked reference).
     """
 
-    def __init__(self, settings: OverlapSettings = DEFAULT_SETTINGS) -> None:
+    def __init__(self, settings: OverlapSettings = DEFAULT_SETTINGS, incremental: bool = True) -> None:
         self.settings = settings
+        self.incremental = incremental
 
     def tune(self, problem: OverlapProblem, executor: OverlapExecutor | None = None) -> TuningResult:
         executor = executor or OverlapExecutor(problem, self.settings)
@@ -102,20 +126,95 @@ class ExhaustiveTuner:
             max_last_group=self.settings.max_last_group,
             max_exhaustive_waves=self.settings.max_exhaustive_waves,
         )
-        best: WavePartition | None = None
-        best_latency = math.inf
-        for partition in candidates:
-            latency = executor.simulate(partition).latency
-            if latency < best_latency:
-                best, best_latency = partition, latency
+        if self.incremental:
+            best, best_latency = self._tune_incremental(executor, candidates)
+        else:
+            best, best_latency = None, math.inf
+            for partition in candidates:
+                latency = executor.simulate(partition).latency
+                if latency < best_latency:
+                    best, best_latency = partition, latency
         if best is None:  # pragma: no cover - defensive
             raise RuntimeError("no candidate partitions were generated")
+        # Like the predictive tuner, fall back to the sequential execution when
+        # even the best overlapped candidate is slower than not overlapping.
+        use_overlap = best_latency <= executor.simulate_sequential().latency
         return TuningResult(
             partition=best,
             predicted_latency=best_latency,
             candidates_evaluated=len(candidates),
             method="exhaustive",
+            use_overlap=use_overlap,
         )
+
+    def _tune_incremental(
+        self, executor: OverlapExecutor, candidates: list[WavePartition]
+    ) -> tuple[WavePartition | None, float]:
+        """Rank candidates on shared per-wave state with early abandoning.
+
+        Replicates the latency arithmetic of :meth:`OverlapExecutor.simulate`
+        operation for operation (same wave-end times, same signal-ready times,
+        same payload bytes, same jitter draw), so the selected partition and
+        latency are identical to the reference loop.  Per-group payloads come
+        from an integer prefix sum over waves, which is exact.
+        """
+        problem, settings = executor.problem, executor.settings
+        launch = problem.device.kernel_launch_seconds
+        wave_end = (
+            executor.gemm_contended.wave_completion_times(executor.compute_sms)
+            * problem.imbalance
+            + launch
+        )
+        layout = executor.gemm_contended.layout
+        wave_bytes = np.array(
+            [
+                sum(layout.tile_elements(t) for t in tiles) * problem.dtype_bytes
+                for tiles in executor.wave_tiles()
+            ],
+            dtype=np.int64,
+        )
+        byte_prefix = np.concatenate([[0], np.cumsum(wave_bytes)])
+        ready = wave_end + settings.signal_poll_s
+        deterministic = settings.executor_jitter <= 0
+
+        best: WavePartition | None = None
+        best_latency = math.inf
+        # Simulation state of the previous candidate: comm-stream drain time
+        # after each of its groups, reusable for a shared boundary prefix when
+        # the executor is deterministic (jitter depends on the full partition).
+        prev_boundaries: tuple[int, ...] = ()
+        prev_state: list[float] = []
+        for partition in candidates:
+            boundaries = partition.boundaries()
+            jitter = executor._jitter(partition, partition.num_groups)
+            start_group = 0
+            if deterministic:
+                while (
+                    start_group < len(prev_state)
+                    and start_group < len(boundaries)
+                    and prev_boundaries[start_group] == boundaries[start_group]
+                ):
+                    start_group += 1
+            previous_end = prev_state[start_group - 1] if start_group else 0.0
+            state = list(prev_state[:start_group])
+            abandoned = False
+            for group in range(start_group, partition.num_groups):
+                end_wave = boundaries[group]
+                payload = float(byte_prefix[end_wave] - byte_prefix[boundaries[group - 1] if group else 0])
+                payload *= problem.imbalance
+                not_before = ready[end_wave - 1] + settings.comm_launch_s
+                start = max(previous_end, not_before)
+                previous_end = start + executor.comm_model.latency(payload) * jitter[group]
+                state.append(previous_end)
+                if previous_end >= best_latency:
+                    abandoned = True
+                    break
+            prev_boundaries, prev_state = tuple(boundaries[: len(state)]), state
+            if abandoned:
+                continue
+            if previous_end < best_latency:
+                best, best_latency = partition, previous_end
+        return best, best_latency
 
 
 def _tuning_result_to_dict(result: TuningResult) -> dict:

@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class WavePartition:
@@ -214,6 +216,64 @@ def heuristic_partitions(
                 sizes.append(max(1, size))
             add(WavePartition.from_sizes(sizes))
     return list(candidates.values())
+
+
+# -- batch encoding -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartitionMatrix:
+    """Padded NumPy encoding of a family of candidate partitions.
+
+    Row ``c`` describes candidate ``c``: ``sizes[c, g]`` is the wave count of
+    its ``g``-th group (zero-padded past ``counts[c]`` groups) and
+    ``boundaries[c, g]`` is the prefix sum of those sizes (the 1-based wave
+    index at which group ``g`` ends; past the last real group the boundary
+    stays at the total wave count).  This is the input format of the
+    vectorized latency predictor and the incremental exhaustive tuner: one
+    encoding is built per search and reused by every evaluation pass.
+    """
+
+    sizes: np.ndarray  # (num_candidates, max_groups) int64, zero padded
+    counts: np.ndarray  # (num_candidates,) int64, number of real groups
+    boundaries: np.ndarray  # (num_candidates, max_groups) int64 prefix sums
+
+    @property
+    def num_candidates(self) -> int:
+        return int(self.sizes.shape[0])
+
+    @property
+    def max_groups(self) -> int:
+        return int(self.sizes.shape[1])
+
+    @property
+    def total_waves(self) -> np.ndarray:
+        """Wave count covered by each candidate."""
+        return self.boundaries[:, -1] if self.max_groups else np.zeros(0, dtype=np.int64)
+
+    def partition(self, index: int) -> WavePartition:
+        """Decode one row back into a :class:`WavePartition`."""
+        count = int(self.counts[index])
+        return WavePartition(tuple(int(s) for s in self.sizes[index, :count]))
+
+
+def candidate_partitions_matrix(partitions: Sequence[WavePartition]) -> PartitionMatrix:
+    """Encode candidate partitions as padded prefix-sum arrays.
+
+    The padding is chosen so that downstream vectorized evaluation is exact:
+    a padded group has size zero, contributes zero compute time and zero
+    communication payload, and therefore leaves the candidate's timeline
+    unchanged.
+    """
+    if not partitions:
+        empty = np.zeros((0, 0), dtype=np.int64)
+        return PartitionMatrix(sizes=empty, counts=np.zeros(0, dtype=np.int64), boundaries=empty)
+    counts = np.array([p.num_groups for p in partitions], dtype=np.int64)
+    max_groups = int(counts.max())
+    sizes = np.zeros((len(partitions), max_groups), dtype=np.int64)
+    for row, partition in enumerate(partitions):
+        sizes[row, : counts[row]] = partition.group_sizes
+    return PartitionMatrix(sizes=sizes, counts=counts, boundaries=np.cumsum(sizes, axis=1))
 
 
 def candidate_partitions(

@@ -23,6 +23,7 @@ class _ScheduledEvent:
     callback: Callable[..., Any] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    executed: bool = field(compare=False, default=False)
 
 
 class EventEngine:
@@ -33,6 +34,7 @@ class EventEngine:
         self._counter = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._pending = 0
 
     @property
     def now(self) -> float:
@@ -46,8 +48,12 @@ class EventEngine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        Maintained as a counter updated on schedule/cancel/execute, so the
+        query is O(1) instead of scanning the heap.
+        """
+        return self._pending
 
     def schedule(self, time: float, callback: Callable[..., Any], *args: Any) -> _ScheduledEvent:
         """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
@@ -55,6 +61,7 @@ class EventEngine:
             raise ValueError(f"cannot schedule event at {time} before now ({self._now})")
         event = _ScheduledEvent(time=time, sequence=next(self._counter), callback=callback, args=args)
         heapq.heappush(self._queue, event)
+        self._pending += 1
         return event
 
     def schedule_after(self, delay: float, callback: Callable[..., Any], *args: Any) -> _ScheduledEvent:
@@ -64,8 +71,14 @@ class EventEngine:
         return self.schedule(self._now + delay, callback, *args)
 
     def cancel(self, event: _ScheduledEvent) -> None:
-        """Cancel a previously scheduled event (it will be skipped)."""
+        """Cancel a previously scheduled event (it will be skipped).
+
+        Cancelling an already-cancelled or already-executed event is a no-op.
+        """
+        if event.cancelled or event.executed:
+            return
         event.cancelled = True
+        self._pending -= 1
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Run events until the queue drains (or a limit is reached).
@@ -82,6 +95,8 @@ class EventEngine:
             heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            event.executed = True
+            self._pending -= 1
             self._now = max(self._now, event.time)
             event.callback(*event.args)
             self._processed += 1
@@ -92,6 +107,11 @@ class EventEngine:
 
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero."""
+        for event in self._queue:
+            # Mark dropped events so a cancel() through a stale handle cannot
+            # decrement the pending counter of the post-reset engine.
+            event.cancelled = True
         self._queue.clear()
         self._now = 0.0
         self._processed = 0
+        self._pending = 0

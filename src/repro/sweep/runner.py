@@ -11,6 +11,16 @@ against the *initial* shape-cache snapshot (never against entries tuned by a
 sibling job of the same run, whose availability would depend on scheduling);
 freshly tuned entries are merged into the cache after the run, so the warm
 start applies across runs, not within one.
+
+Two caches with different scopes make a sweep fast:
+
+* the :class:`GemmShapeCache` warm start skips tuning entirely for shapes
+  close to an already-tuned entry (persisted across runs via ``cache_path``);
+* the process-level offline-profile memoization
+  (:meth:`repro.core.predictor.OfflineProfile.cached`) shares sampled
+  bandwidth curves and offline profiles across all jobs a worker process
+  executes, so cache misses only pay the candidate search, not the offline
+  stage.  The in-process hit/miss counters are reported on the summary.
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ from dataclasses import dataclass, field
 from repro.analysis.speedup import compare_methods
 from repro.core.baselines import NonOverlapBaseline
 from repro.core.executor import OverlapExecutor
+from repro.core.predictor import profile_cache_info
 from repro.core.tuner import GemmShapeCache, PredictiveTuner
 from repro.sweep.matrix import Scenario, ScenarioMatrix
 from repro.sweep.store import ResultStore
@@ -107,6 +118,9 @@ class SweepSummary:
     tuned: int
     cache_hits: int
     records: list[dict] = field(default_factory=list)
+    #: Offline-profile memoization counters of *this* process (worker
+    #: processes keep their own caches; None when nothing ran in-process).
+    profile_cache: dict | None = None
 
     def describe(self) -> str:
         return (
@@ -189,6 +203,7 @@ class SweepRunner:
             tuned=sum(1 for r in ordered if r.get("tuned")),
             cache_hits=sum(1 for r in ordered if r.get("cache_hit")),
             records=ordered,
+            profile_cache=profile_cache_info() if self.workers <= 1 and pending else None,
         )
 
     def _run_pool(self, pending: list[Scenario], cache_json: str | None) -> list[dict]:

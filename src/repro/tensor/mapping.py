@@ -26,6 +26,11 @@ class MappingTable:
 
     forward: dict[int, int] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Position -> original shadow map, kept in sync by append(): makes the
+        # occupancy check and original_of() O(1) instead of scanning forward.
+        self._inverse: dict[int, int] = {pos: orig for orig, pos in self.forward.items()}
+
     @classmethod
     def from_order(cls, order: list[int] | np.ndarray) -> "MappingTable":
         """Build a table from a packing order.
@@ -44,9 +49,10 @@ class MappingTable:
             raise ValueError(f"unit {original} already present in mapping table")
         if position is None:
             position = len(self.forward)
-        if position in self.forward.values():
+        if position in self._inverse:
             raise ValueError(f"reordered position {position} already occupied")
         self.forward[original] = position
+        self._inverse[position] = original
         return position
 
     def __len__(self) -> int:
@@ -60,15 +66,15 @@ class MappingTable:
         return self.forward[original]
 
     def original_of(self, position: int) -> int:
-        """Original unit index stored at a reordered position."""
-        for original, pos in self.forward.items():
-            if pos == position:
-                return original
-        raise KeyError(f"no unit at reordered position {position}")
+        """Original unit index stored at a reordered position (O(1))."""
+        try:
+            return self._inverse[position]
+        except KeyError:
+            raise KeyError(f"no unit at reordered position {position}") from None
 
     def inverse(self) -> dict[int, int]:
         """Return the position -> original mapping as a dict."""
-        return {pos: orig for orig, pos in self.forward.items()}
+        return dict(self._inverse)
 
     def as_permutation(self) -> np.ndarray:
         """Return ``perm`` with ``perm[position] = original``.
@@ -76,10 +82,16 @@ class MappingTable:
         Requires the table to be dense: positions must be exactly
         ``0 .. len-1``.
         """
-        inverse = self.inverse()
-        if sorted(inverse) != list(range(len(self))):
+        count = len(self)
+        perm = np.empty(count, dtype=np.int64)
+        covered = 0
+        for position, original in self._inverse.items():
+            if 0 <= position < count:
+                perm[position] = original
+                covered += 1
+        if covered != count:
             raise ValueError("mapping table positions are not dense")
-        return np.array([inverse[p] for p in range(len(self))], dtype=np.int64)
+        return perm
 
     def is_permutation(self) -> bool:
         """True when the positions form a dense permutation ``0 .. len-1``."""

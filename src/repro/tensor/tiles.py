@@ -78,6 +78,51 @@ def scatter_tiles(
         )
 
 
+def tile_flat_indices(
+    layout: TileLayout, tile_indices: Iterable[int], row_limit: tuple[int, int] | None = None
+) -> np.ndarray:
+    """Flat (row-major) matrix indices of the given tiles, in pack order.
+
+    ``tile_flat_indices(layout, order)[k]`` is the flat position in the
+    ``layout.m x layout.n`` matrix of the ``k``-th element of the buffer
+    :func:`gather_tiles` would build for the same tile order.  With
+    ``row_limit=(start, stop)`` only rows ``start..stop-1`` *within each tile*
+    are included (the ReduceScatter sub-tile split).  Precomputing these
+    permutations once per reorder plan turns every pre/post-communication
+    reorder into a single ``np.take`` / fancy-index assignment.
+    """
+    parts = []
+    for tile_index in tile_indices:
+        rs, cs = layout.tile_slices(tile_index)
+        row_start, row_stop = rs.start, rs.stop
+        if row_limit is not None:
+            row_start, row_stop = rs.start + row_limit[0], rs.start + row_limit[1]
+        rows = np.arange(row_start, row_stop, dtype=np.int64)
+        cols = np.arange(cs.start, cs.stop, dtype=np.int64)
+        parts.append((rows[:, None] * layout.n + cols[None, :]).reshape(-1))
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(parts)
+
+
+def gather_tiles_indexed(matrix: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Index-based fast path of :func:`gather_tiles`.
+
+    ``indices`` is the permutation from :func:`tile_flat_indices`; the result
+    is element-for-element identical to the per-tile reference.
+    """
+    return np.take(matrix, indices)
+
+
+def scatter_tiles_indexed(matrix: np.ndarray, indices: np.ndarray, buffer: np.ndarray) -> None:
+    """Index-based fast path of :func:`scatter_tiles` (in-place)."""
+    if buffer.size != indices.size:
+        raise ValueError(
+            f"buffer has {buffer.size} elements but the index permutation covers {indices.size}"
+        )
+    np.put(matrix, indices, buffer)
+
+
 def split_tile_rows(tile: np.ndarray, parts: int) -> list[np.ndarray]:
     """Split a tile along its rows into ``parts`` equal sub-tiles.
 

@@ -111,3 +111,46 @@ class TestSampleSizes:
             default_sample_sizes(min_bytes=0)
         with pytest.raises(ValueError):
             default_sample_sizes(min_bytes=100, max_bytes=50)
+
+
+class TestVectorizedCurves:
+    """Array inputs evaluate element-wise identically to the scalar paths."""
+
+    @pytest.fixture
+    def analytic(self):
+        return AnalyticBandwidthCurve(peak_bandwidth_bytes=50e9, half_saturation_bytes=4e6)
+
+    @pytest.fixture
+    def sampled(self, analytic):
+        return sample_bandwidth(analytic, default_sample_sizes(), noise=0.02, seed=5)
+
+    def test_analytic_bandwidth_accepts_arrays(self, analytic):
+        sizes = np.array([-1.0, 0.0, 1.0, 1e4, 4e6, 1e9])
+        batch = analytic.bandwidth(sizes)
+        np.testing.assert_array_equal(batch, [analytic.bandwidth(s) for s in sizes])
+
+    def test_analytic_transfer_time_accepts_arrays(self, analytic):
+        sizes = np.array([0.0, 64.0, 1e5, 4e6, 1e9])
+        np.testing.assert_array_equal(
+            analytic.transfer_time(sizes), [analytic.transfer_time(s) for s in sizes]
+        )
+
+    def test_sampled_transfer_time_accepts_arrays(self, sampled):
+        # Below the smallest sample, on samples, between samples, above the top.
+        sizes = np.concatenate(
+            [[0.0, 1.0, 1024.0], sampled.sizes_bytes[:3], sampled.sizes_bytes[:2] * 1.7, [1e12]]
+        )
+        np.testing.assert_array_equal(
+            sampled.transfer_time(sizes), [sampled.transfer_time(s) for s in sizes]
+        )
+
+    def test_sampled_bandwidth_accepts_arrays(self, sampled):
+        sizes = np.array([0.0, 1e5, 1e6, 1e8, 1e12])
+        np.testing.assert_array_equal(
+            sampled.bandwidth(sizes), [sampled.bandwidth(s) for s in sizes]
+        )
+
+    def test_sample_bandwidth_uses_one_vectorized_call(self, analytic):
+        sizes = default_sample_sizes()
+        curve = sample_bandwidth(analytic, sizes)
+        np.testing.assert_array_equal(curve.bandwidths_bytes, [analytic.bandwidth(s) for s in sizes])

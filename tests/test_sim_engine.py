@@ -92,3 +92,58 @@ class TestControl:
         assert engine.now == 0.0
         assert engine.pending_events == 0
         assert engine.processed_events == 0
+
+
+class TestPendingCounter:
+    """pending_events is a live counter updated on schedule/cancel/execute."""
+
+    def test_counts_schedule_and_execute(self):
+        engine = EventEngine()
+        events = [engine.schedule(float(t), lambda: None) for t in range(4)]
+        assert engine.pending_events == 4
+        engine.run(until=1.5)
+        assert engine.pending_events == 2
+        engine.run()
+        assert engine.pending_events == 0
+        assert all(e.executed for e in events)
+
+    def test_cancel_decrements_once(self):
+        engine = EventEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.cancel(handle)
+        assert engine.pending_events == 1
+        engine.cancel(handle)  # double cancel is a no-op
+        assert engine.pending_events == 1
+        engine.run()
+        assert engine.pending_events == 0
+
+    def test_cancel_after_execution_is_noop(self):
+        engine = EventEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.pending_events == 0
+        engine.cancel(handle)
+        assert engine.pending_events == 0
+
+    def test_counter_tracks_events_scheduled_by_callbacks(self):
+        engine = EventEngine()
+
+        def chain(depth):
+            if depth:
+                engine.schedule_after(1.0, chain, depth - 1)
+
+        engine.schedule(0.0, chain, 3)
+        assert engine.pending_events == 1
+        engine.run()
+        assert engine.pending_events == 0
+        assert engine.processed_events == 4
+
+    def test_cancel_of_stale_handle_after_reset_is_noop(self):
+        engine = EventEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.reset()
+        engine.cancel(handle)
+        assert engine.pending_events == 0
+        engine.schedule(1.0, lambda: None)
+        assert engine.pending_events == 1
