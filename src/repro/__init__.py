@@ -12,7 +12,9 @@ The package mirrors the paper's structure:
 * :mod:`repro.workloads` -- GEMM shape suites and model-level workloads,
 * :mod:`repro.analysis` -- speedup/heatmap/breakdown reporting helpers,
 * :mod:`repro.sweep` -- parallel scenario sweeps (matrices, presets, worker
-  fan-out, JSONL result store, aggregation).
+  fan-out, JSONL result store, aggregation),
+* :mod:`repro.serve` -- online serving simulation (request traffic,
+  continuous batching, shape-bucketed plan cache, TTFT/TPOT/goodput metrics).
 
 Quickstart::
 
@@ -56,6 +58,13 @@ from repro.gpu import (
     GemmShape,
     GemmTileConfig,
     GPUSpec,
+)
+from repro.serve import (
+    PlanCache,
+    PoissonArrivals,
+    ServeConfig,
+    ServingSimulator,
+    TraceArrivals,
 )
 from repro.sweep import (
     Platform,
@@ -102,4 +111,10 @@ __all__ = [
     "ResultStore",
     "matrix_from_preset",
     "sweep_presets",
+    # serve
+    "PoissonArrivals",
+    "TraceArrivals",
+    "PlanCache",
+    "ServeConfig",
+    "ServingSimulator",
 ]

@@ -13,6 +13,8 @@ writing Python::
                   --topology a800-nvlink --gpus 8 --collective reducescatter
     repro sweep   --preset llm-inference --workers 4 --out results.jsonl \
                   --cache shapes.json --resume
+    repro serve   --rate 32 --requests 64 --workload llama3-70b \
+                  --topology a800-nvlink --gpus 4 --baseline
 
 Sub-commands:
 
@@ -23,7 +25,15 @@ Sub-commands:
 * ``verify``  -- run the NumPy correctness pipeline on a small instance;
 * ``sweep``   -- fan a scenario matrix (named preset or JSON config) out over
   worker processes into a JSONL result store, with resume and shape-cache
-  warm start.
+  warm start;
+* ``serve``   -- simulate online serving (Poisson or trace arrivals,
+  continuous batching, shape-bucketed plan cache) and report TTFT/TPOT
+  percentiles, throughput and goodput, optionally against the non-overlap
+  baseline.
+
+Multi-GPU problems default to one server (``--topology`` x ``--gpus``); pass
+``--nodes``/``--gpus-per-node`` instead to place the collective on a
+multi-node A800 cluster (NVLink inside a node, InfiniBand across nodes).
 """
 
 from __future__ import annotations
@@ -63,6 +73,14 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--imbalance", type=float, default=1.0,
                        help="per-GPU workload skew (>= 1.0, for expert parallelism)")
         p.add_argument("--seed", type=int, default=0, help="seed of the stochastic model terms")
+        add_multinode_arguments(p)
+
+    def add_multinode_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--nodes", type=int, default=None, metavar="N",
+                       help="span the collective across N A800 nodes over InfiniBand "
+                            "(overrides --topology/--gpus)")
+        p.add_argument("--gpus-per-node", type=int, default=8,
+                       help="GPUs per node when --nodes is given")
 
     report = sub.add_parser("report", help="tune, simulate and print the speedup report")
     add_problem_arguments(report)
@@ -78,8 +96,11 @@ def _build_parser() -> argparse.ArgumentParser:
     verify = sub.add_parser("verify", help="run the NumPy correctness pipeline (small instance)")
     verify.add_argument("--collective", default="allreduce",
                         choices=["allreduce", "reducescatter", "alltoall"])
+    verify.add_argument("--topology", default="tiny-pcie", choices=sorted(known_topologies()),
+                        help="simulated server / interconnect (default: the tiny test box)")
     verify.add_argument("--gpus", type=int, default=4)
     verify.add_argument("--seed", type=int, default=0)
+    add_multinode_arguments(verify)
 
     sweep = sub.add_parser(
         "sweep", help="fan a scenario matrix out over worker processes into a JSONL store"
@@ -103,11 +124,73 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also evaluate every baseline method per scenario (slower)")
     sweep.add_argument("--group-by", type=str, default="workload,collective,topology",
                        help="comma-separated scenario fields of the summary rollup")
+
+    from repro.serve.arrivals import length_distributions
+    from repro.serve.simulator import SERVE_MODELS
+
+    serve = sub.add_parser(
+        "serve", help="simulate online serving: traffic, continuous batching, plan cache"
+    )
+    # Flags covered by the --smoke preset default to None so that --smoke can
+    # fill exactly the values the user did not pass (see _SERVE_DEFAULTS).
+    serve.add_argument("--rate", type=float, default=None,
+                       help="Poisson arrival rate in requests/s (default 32)")
+    serve.add_argument("--requests", type=int, default=None,
+                       help="number of requests to generate "
+                            "(default 64, unless --duration bounds the traffic)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="bound the arrival window (seconds) instead of, "
+                            "or in addition to, --requests")
+    serve.add_argument("--distribution", default=None,
+                       choices=sorted(length_distributions()),
+                       help="prompt/output length distribution of the traffic (default chat)")
+    serve.add_argument("--trace", type=str, default=None,
+                       help="JSONL request trace replacing the Poisson generator "
+                            "(fields: arrival_time, prompt_tokens, output_tokens)")
+    serve.add_argument("--workload", default=None, choices=sorted(SERVE_MODELS),
+                       help="served model (default llama3-70b)")
+    serve.add_argument("--device", default="a800", choices=sorted(known_devices()),
+                       help="simulated accelerator")
+    serve.add_argument("--topology", default="a800-nvlink", choices=sorted(known_topologies()),
+                       help="simulated server / interconnect")
+    serve.add_argument("--gpus", type=int, default=4,
+                       help="tensor-parallel degree (GPUs in the collective)")
+    add_multinode_arguments(serve)
+    serve.add_argument("--layers", type=int, default=None,
+                       help="decoder layers priced per iteration (default 4)")
+    serve.add_argument("--max-batch-tokens", type=int, default=None,
+                       help="token budget of one continuous-batching iteration (default 4096)")
+    serve.add_argument("--max-batch-size", type=int, default=None,
+                       help="maximum concurrently running requests (default 32)")
+    serve.add_argument("--plan-cache", type=int, default=64, metavar="CAPACITY",
+                       help="plan-cache capacity in bucketed shapes (0 disables caching)")
+    serve.add_argument("--warm-cache", type=str, default=None,
+                       help="GemmShapeCache JSON warm start, updated after the run")
+    serve.add_argument("--baseline", action="store_true",
+                       help="also serve the same traffic without overlap and compare")
+    serve.add_argument("--slo-ttft", type=float, default=1.0, help="TTFT SLO in seconds")
+    serve.add_argument("--slo-tpot", type=float, default=0.1, help="TPOT SLO in seconds")
+    serve.add_argument("--seed", type=int, default=0, help="traffic and model seed")
+    serve.add_argument("--json", type=str, default=None, metavar="PATH",
+                       help="write the full metrics report to a JSON file")
+    serve.add_argument("--smoke", action="store_true",
+                       help="CI-sized defaults for any flags not passed explicitly "
+                            "(short summarization burst on the small model); "
+                            "implies --baseline")
     return parser
 
 
+def _topology_from_args(args: argparse.Namespace):
+    """Resolve the topology: multi-node when --nodes is given, else the preset."""
+    if getattr(args, "nodes", None):
+        from repro.comm.topology import multinode_a800
+
+        return multinode_a800(n_nodes=args.nodes, gpus_per_node=args.gpus_per_node)
+    return known_topologies()[args.topology].with_n_gpus(args.gpus)
+
+
 def _problem_from_args(args: argparse.Namespace) -> OverlapProblem:
-    topology = known_topologies()[args.topology].with_n_gpus(args.gpus)
+    topology = _topology_from_args(args)
     return OverlapProblem(
         shape=GemmShape(m=args.m, n=args.n, k=args.k),
         device=device_by_name(args.device),
@@ -173,15 +256,10 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 
 def _command_verify(args: argparse.Namespace) -> int:
-    from repro.comm.topology import InterconnectKind, Topology
     from repro.gpu.device import GPUSpec
 
     device = GPUSpec(name="tiny-gpu", sm_count=8, fp16_tflops=4.0, hbm_bandwidth_gbps=200.0)
-    topology = Topology(
-        name="tiny", n_gpus=args.gpus, kind=InterconnectKind.PCIE,
-        peak_bus_bandwidth_gbps=10.0, base_latency_us=20.0, half_saturation_mb=0.5,
-        comm_sm_count=2, supports_p2p=False,
-    )
+    topology = _topology_from_args(args)
     problem = OverlapProblem(
         shape=GemmShape(m=64, n=48, k=32),
         device=device,
@@ -192,8 +270,8 @@ def _command_verify(args: argparse.Namespace) -> int:
     operator = FlashOverlapOperator(problem, OverlapSettings(seed=args.seed))
     result = operator.run_numeric()
     status = "all close" if result.allclose() else "MISMATCH"
-    print(f"{problem.collective.short_name} on {args.gpus} simulated GPUs: {status} "
-          f"(max |error| = {result.max_abs_error():.3e})")
+    print(f"{problem.collective.short_name} on {topology.n_gpus} simulated GPUs "
+          f"({topology.name}): {status} (max |error| = {result.max_abs_error():.3e})")
     return 0 if result.allclose() else 1
 
 
@@ -269,12 +347,133 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+#: Default serving scenario.  Each value only applies to flags the user did
+#: not pass explicitly (their parser default is None); the --smoke variant is
+#: the shared :data:`repro.serve.simulator.SMOKE_SCENARIO`.
+_SERVE_DEFAULTS = {
+    "rate": 32.0,
+    "requests": 64,
+    "distribution": "chat",
+    "workload": "llama3-70b",
+    "layers": 4,
+    "max_batch_tokens": 4096,
+    "max_batch_size": 32,
+}
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.tuner import GemmShapeCache
+    from repro.serve import (
+        SLO,
+        PlanCache,
+        PoissonArrivals,
+        ServeConfig,
+        ServingSimulator,
+        TraceArrivals,
+        distribution_by_name,
+    )
+    from repro.serve.simulator import SERVE_MODELS, SMOKE_SCENARIO
+
+    defaults = dict(SMOKE_SCENARIO if args.smoke else _SERVE_DEFAULTS)
+    if args.duration is not None:
+        # An explicit --duration bounds the traffic by itself; do not cap it
+        # with the default request count too.
+        defaults.pop("requests")
+    for name, value in defaults.items():
+        if getattr(args, name) is None:
+            setattr(args, name, value)
+    if args.smoke:
+        args.baseline = True
+
+    if args.trace:
+        arrivals = TraceArrivals.from_jsonl(args.trace)
+        traffic = f"trace {args.trace}"
+    else:
+        arrivals = PoissonArrivals(
+            rate_rps=args.rate,
+            distribution=distribution_by_name(args.distribution),
+            seed=args.seed,
+            num_requests=args.requests,
+            duration_s=args.duration,
+        )
+        traffic = f"poisson @ {args.rate:g} req/s, {args.distribution} lengths, seed {args.seed}"
+    requests = arrivals.generate()
+    if not requests:
+        print("repro serve: error: the traffic generator produced no requests", file=sys.stderr)
+        return 2
+
+    settings = OverlapSettings(seed=args.seed)
+    config = ServeConfig(
+        model=SERVE_MODELS[args.workload],
+        device=device_by_name(args.device),
+        topology=_topology_from_args(args),
+        layers=args.layers,
+        max_batch_tokens=args.max_batch_tokens,
+        max_batch_size=args.max_batch_size,
+        settings=settings,
+    )
+    warm = GemmShapeCache.load(args.warm_cache, missing_ok=True) if args.warm_cache else None
+    plan_cache = PlanCache(settings, capacity=args.plan_cache, warm_start=warm,
+                           min_bucket=config.min_bucket)
+    slo = SLO(ttft_s=args.slo_ttft, tpot_s=args.slo_tpot)
+
+    overlap = ServingSimulator(config, plan_cache=plan_cache, mode="overlap").run(requests)
+    baseline = None
+    if args.baseline:
+        baseline = ServingSimulator(config, mode="non-overlap").run(requests)
+    if args.warm_cache and warm is not None:
+        warm.save(args.warm_cache)
+
+    metrics = overlap.metrics(slo)
+    cache_stats = overlap.plan_cache_stats or {}
+    print(f"config     : {config.describe()}")
+    print(f"traffic    : {len(requests)} requests, {traffic}")
+    print(f"iterations : {overlap.iterations} "
+          f"({overlap.total_batched_tokens} batched tokens, "
+          f"{cache_stats.get('tuner_invocations', 0)} tuner invocations)")
+    for name, stats in (("TTFT", metrics.ttft), ("TPOT", metrics.tpot),
+                        ("e2e", metrics.e2e_latency)):
+        print(f"{name:<11}: p50 {stats.p50 * 1e3:8.2f} ms   p95 {stats.p95 * 1e3:8.2f} ms   "
+              f"p99 {stats.p99 * 1e3:8.2f} ms")
+    print(f"throughput : {metrics.output_tokens_per_s:.0f} output tokens/s, "
+          f"{metrics.requests_per_s:.1f} requests/s")
+    print(f"goodput    : {metrics.goodput_requests_per_s:.1f} requests/s within SLO "
+          f"(TTFT <= {slo.ttft_s:g}s, TPOT <= {slo.tpot_s:g}s; "
+          f"{metrics.slo_attainment * 100:.1f}% attainment)")
+    if cache_stats:
+        print(f"plan cache : {cache_stats['size']}/{cache_stats['capacity']} plans, "
+              f"{cache_stats['lookups']} lookups, {cache_stats['hit_rate'] * 100:.1f}% hits, "
+              f"{cache_stats['evictions']} evictions")
+    if baseline is not None:
+        base = baseline.metrics(slo)
+        print(f"baseline   : e2e mean {base.e2e_latency.mean * 1e3:.2f} ms "
+              f"vs {metrics.e2e_latency.mean * 1e3:.2f} ms overlapped "
+              f"({base.e2e_latency.mean / metrics.e2e_latency.mean:.3f}x), "
+              f"TTFT p99 {base.ttft.p99 / metrics.ttft.p99:.3f}x, "
+              f"makespan {baseline.makespan_s / overlap.makespan_s:.3f}x")
+
+    if args.json:
+        report = {"overlap": overlap.to_dict(slo)}
+        if baseline is not None:
+            report["non-overlap"] = baseline.to_dict(slo)
+        from pathlib import Path
+
+        target = Path(args.json)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        print(f"report     : {target}")
+    return 0
+
+
 _COMMANDS = {
     "report": _command_report,
     "tune": _command_tune,
     "compare": _command_compare,
     "verify": _command_verify,
     "sweep": _command_sweep,
+    "serve": _command_serve,
 }
 
 

@@ -49,6 +49,11 @@ class Topology:
     comm_sm_count: int
     supports_p2p: bool
     intra_node: bool = True
+    #: GPU count at which the raw bandwidth/latency parameters are specified;
+    #: :meth:`with_n_gpus` applies its scaling penalty relative to this count.
+    #: Defaults to ``n_gpus`` at construction (a directly-built topology's
+    #: numbers are taken at face value).
+    base_n_gpus: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_gpus < 2:
@@ -59,6 +64,10 @@ class Topology:
             raise ValueError("latency and saturation point must be positive")
         if self.comm_sm_count < 0:
             raise ValueError("comm_sm_count must be non-negative")
+        if self.base_n_gpus is None:
+            object.__setattr__(self, "base_n_gpus", self.n_gpus)
+        elif self.base_n_gpus < 2:
+            raise ValueError("base_n_gpus must be >= 2")
 
     @property
     def peak_bus_bandwidth_bytes(self) -> float:
@@ -72,27 +81,46 @@ class Topology:
     def half_saturation_bytes(self) -> float:
         return self.half_saturation_mb * 1024 * 1024
 
+    def _gpu_count_scales(self, n_gpus: int) -> tuple[float, float]:
+        """(bandwidth, latency) scale of ``n_gpus`` relative to ``base_n_gpus``.
+
+        Only penalties, never bonuses: a GPU count at or below the base keeps
+        the base parameters (scaling an InfiniBand cluster *down* must not
+        make it faster than its NIC-derived model).
+        """
+        doublings = max(0.0, (n_gpus - self.base_n_gpus) / 2.0)
+        bandwidth = 0.92**doublings if self.kind == InterconnectKind.PCIE else 0.97**doublings
+        return bandwidth, 1.0 + 0.1 * doublings
+
     def with_n_gpus(self, n_gpus: int) -> "Topology":
         """Return the same server type scaled to a different GPU count.
 
         Going through more PCIe hops / NUMA nodes or sharing NVLink lanes
         reduces the per-GPU bus bandwidth slightly; the model applies a mild
-        penalty per doubling beyond two GPUs.
+        penalty per doubling beyond :attr:`base_n_gpus` (the count the raw
+        parameters were specified at).  The scaling already baked into
+        ``self`` is divided out first, so the method is idempotent and
+        path-independent: ``t.with_n_gpus(k).with_n_gpus(k) ==
+        t.with_n_gpus(k)`` (a preset at its default GPU count passes through
+        unchanged).
         """
         if n_gpus < 2:
             raise ValueError("n_gpus must be >= 2")
-        doublings = max(0.0, (n_gpus - 2) / 2.0)
-        scale = 0.92**doublings if self.kind == InterconnectKind.PCIE else 0.97**doublings
+        if n_gpus == self.n_gpus:
+            return self
+        current_bw, current_lat = self._gpu_count_scales(self.n_gpus)
+        target_bw, target_lat = self._gpu_count_scales(n_gpus)
         return Topology(
             name=self.name,
             n_gpus=n_gpus,
             kind=self.kind,
-            peak_bus_bandwidth_gbps=self.peak_bus_bandwidth_gbps * scale,
-            base_latency_us=self.base_latency_us * (1.0 + 0.1 * doublings),
+            peak_bus_bandwidth_gbps=self.peak_bus_bandwidth_gbps / current_bw * target_bw,
+            base_latency_us=self.base_latency_us / current_lat * target_lat,
             half_saturation_mb=self.half_saturation_mb,
             comm_sm_count=self.comm_sm_count,
             supports_p2p=self.supports_p2p,
             intra_node=self.intra_node,
+            base_n_gpus=self.base_n_gpus,
         )
 
 
@@ -175,6 +203,25 @@ def multinode_a800(n_nodes: int = 2, gpus_per_node: int = 8) -> Topology:
     )
 
 
+def tiny_pcie(n_gpus: int = 4) -> Topology:
+    """Miniature PCIe box for correctness pipelines and tests.
+
+    Deliberately slow and small so numeric verification problems produce few
+    waves and tiny messages; the default topology of ``repro verify``.
+    """
+    base = Topology(
+        name="tiny-pcie",
+        n_gpus=2,
+        kind=InterconnectKind.PCIE,
+        peak_bus_bandwidth_gbps=10.0,
+        base_latency_us=20.0,
+        half_saturation_mb=0.5,
+        comm_sm_count=2,
+        supports_p2p=False,
+    )
+    return base.with_n_gpus(n_gpus)
+
+
 def known_topologies() -> dict[str, Topology]:
     """Preset topologies at their default GPU counts."""
     return {
@@ -182,4 +229,5 @@ def known_topologies() -> dict[str, Topology]:
         "a800-nvlink": a800_nvlink(),
         "ascend910b-hccs": ascend_hccs(),
         "a800-2node-ib": multinode_a800(),
+        "tiny-pcie": tiny_pcie(),
     }

@@ -1,0 +1,73 @@
+"""Online serving simulation: request traffic, continuous batching, plan cache.
+
+The serving layer turns the one-shot overlap operator into a traffic-facing
+system:
+
+* :mod:`repro.serve.arrivals` -- seeded Poisson and trace-driven request
+  generators with named prompt/output length distributions;
+* :mod:`repro.serve.scheduler` -- Orca/vLLM-style continuous batching with
+  chunked prefill, emitting the per-iteration GEMM shapes;
+* :mod:`repro.serve.plan_cache` -- LRU, shape-bucketed cache of tuned
+  :class:`~repro.core.tuner.TuningResult` plans (with
+  :class:`~repro.core.tuner.GemmShapeCache` warm start) so repeated shapes
+  skip the tuner;
+* :mod:`repro.serve.simulator` -- the event-driven serving loop on
+  :class:`~repro.sim.engine.EventEngine`, executing overlap plans or the
+  non-overlap baseline per iteration;
+* :mod:`repro.serve.metrics` -- TTFT/TPOT/e2e percentiles, throughput and
+  goodput under an SLO.
+"""
+
+from repro.serve.arrivals import (
+    LengthDistribution,
+    PoissonArrivals,
+    Request,
+    TraceArrivals,
+    distribution_by_name,
+    length_distributions,
+)
+from repro.serve.metrics import SLO, LatencyStats, RequestRecord, ServingMetrics, compute_metrics
+from repro.serve.plan_cache import CachedPlan, PlanCache, bucket_tokens
+from repro.serve.scheduler import (
+    ContinuousBatchingScheduler,
+    IterationBatch,
+    IterationOutcome,
+    PrefillChunk,
+    iteration_gemm_shapes,
+    profile_iteration_tokens,
+)
+from repro.serve.simulator import (
+    SERVE_MODES,
+    ServeConfig,
+    ServingResult,
+    ServingSimulator,
+    compare_serving,
+)
+
+__all__ = [
+    "Request",
+    "LengthDistribution",
+    "length_distributions",
+    "distribution_by_name",
+    "PoissonArrivals",
+    "TraceArrivals",
+    "ContinuousBatchingScheduler",
+    "IterationBatch",
+    "IterationOutcome",
+    "PrefillChunk",
+    "iteration_gemm_shapes",
+    "profile_iteration_tokens",
+    "PlanCache",
+    "CachedPlan",
+    "bucket_tokens",
+    "SLO",
+    "LatencyStats",
+    "RequestRecord",
+    "ServingMetrics",
+    "compute_metrics",
+    "SERVE_MODES",
+    "ServeConfig",
+    "ServingSimulator",
+    "ServingResult",
+    "compare_serving",
+]

@@ -1,0 +1,263 @@
+"""Event-driven serving simulator over the overlap operator.
+
+One :class:`ServingSimulator` run is an online serving experiment: requests
+arrive on the :class:`~repro.sim.engine.EventEngine` clock, the
+continuous-batching scheduler packs them into iterations, and every iteration
+executes one stack of decoder layers whose row-parallel "GEMM + AllReduce"
+pairs run either as tuned FlashOverlap plans (``mode="overlap"``, plans served
+by the shape-bucketed :class:`~repro.serve.plan_cache.PlanCache`) or as the
+sequential non-overlap baseline (``mode="non-overlap"``).  Per-request TTFT /
+TPOT / end-to-end latencies fall out of the event timeline.
+
+The iteration latency model reuses the workload substrate: operator streams
+come from :func:`repro.workloads.llm.llm_inference_layer` at the *bucketed*
+token count, so the simulator prices exactly the layer the end-to-end
+benchmarks price, and every overlap-target latency is pre-simulated once per
+bucket by the plan cache.  Everything is deterministic: the same config,
+traffic and seed produce a bit-identical metrics report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.comm.topology import Topology, a800_nvlink
+from repro.core.baselines import NonOverlapBaseline
+from repro.core.config import DEFAULT_SETTINGS, OverlapProblem, OverlapSettings
+from repro.gpu.device import A800, GPUSpec
+from repro.serve.arrivals import Request
+from repro.serve.metrics import SLO, RequestRecord, ServingMetrics, compute_metrics
+from repro.serve.plan_cache import PlanCache, bucket_tokens
+from repro.serve.scheduler import ContinuousBatchingScheduler, IterationBatch
+from repro.sim.engine import EventEngine
+from repro.workloads.llm import LLAMA2_7B, LLAMA3_70B, ModelConfig, llm_inference_layer
+from repro.workloads.operators import OperatorInstance
+from repro.workloads.parallelism import ParallelismConfig
+
+SERVE_MODES = ("overlap", "non-overlap")
+
+#: Models the serving CLI can instantiate by name.
+SERVE_MODELS: dict[str, ModelConfig] = {
+    "llama2-7b": LLAMA2_7B,
+    "llama3-70b": LLAMA3_70B,
+}
+
+#: The CI-sized smoke scenario -- a short summarization burst on the small
+#: model -- shared by ``repro serve --smoke``, the serving benchmark and the
+#: committed ``BENCH_serving_baseline.json``, so the three cannot drift apart.
+SMOKE_SCENARIO: dict = {
+    "rate": 64.0,
+    "requests": 24,
+    "distribution": "summarize",
+    "workload": "llama2-7b",
+    "layers": 2,
+    "max_batch_tokens": 4096,
+    "max_batch_size": 16,
+}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Static configuration of one serving engine instance."""
+
+    model: ModelConfig = LLAMA2_7B
+    device: GPUSpec = A800
+    topology: Topology = a800_nvlink(4)
+    layers: int = 4
+    max_batch_tokens: int = 2048
+    max_batch_size: int = 32
+    #: Fixed per-iteration overhead (scheduling, sampling, detokenization).
+    iteration_overhead_us: float = 50.0
+    #: Smallest token bucket of the plan cache (powers of two upwards).
+    min_bucket: int = 16
+    settings: OverlapSettings = DEFAULT_SETTINGS
+
+    def __post_init__(self) -> None:
+        if self.layers < 1:
+            raise ValueError("layers must be >= 1")
+        if self.iteration_overhead_us < 0:
+            raise ValueError("iteration_overhead_us must be non-negative")
+
+    @property
+    def tp(self) -> int:
+        """Tensor-parallel degree (the collective spans the whole topology)."""
+        return self.topology.n_gpus
+
+    def describe(self) -> str:
+        return (
+            f"{self.model.name} ({self.layers} layers, TP={self.tp}) on "
+            f"{self.topology.n_gpus}x {self.device.name} ({self.topology.name}), "
+            f"batch <= {self.max_batch_tokens} tokens / {self.max_batch_size} requests"
+        )
+
+
+@dataclass
+class ServingResult:
+    """Everything one simulation run produced."""
+
+    mode: str
+    records: list[RequestRecord]
+    iterations: int
+    total_batched_tokens: int
+    makespan_s: float
+    #: Bucketed iteration token count -> number of iterations at that bucket.
+    token_buckets: dict[int, int] = field(default_factory=dict)
+    plan_cache_stats: dict | None = None
+
+    def metrics(self, slo: SLO | None = None) -> ServingMetrics:
+        return compute_metrics(self.records, self.makespan_s, slo)
+
+    def to_dict(self, slo: SLO | None = None) -> dict:
+        """JSON-stable report (identical for identical runs)."""
+        return {
+            "mode": self.mode,
+            "iterations": self.iterations,
+            "total_batched_tokens": self.total_batched_tokens,
+            "makespan_s": self.makespan_s,
+            "token_buckets": {str(k): self.token_buckets[k] for k in sorted(self.token_buckets)},
+            "plan_cache": self.plan_cache_stats,
+            "metrics": self.metrics(slo).to_dict(),
+        }
+
+
+class ServingSimulator:
+    """Continuous-batching serving loop on the discrete-event engine."""
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        plan_cache: PlanCache | None = None,
+        mode: str = "overlap",
+    ) -> None:
+        if mode not in SERVE_MODES:
+            raise ValueError(f"mode must be one of {SERVE_MODES}, got {mode!r}")
+        self.config = config
+        self.mode = mode
+        if plan_cache is None and mode == "overlap":
+            plan_cache = PlanCache(config.settings, min_bucket=config.min_bucket)
+        self.plan_cache = plan_cache
+        self._ops_by_bucket: dict[int, list[OperatorInstance]] = {}
+        self._baseline_latency_by_bucket: dict[int, float] = {}
+
+    # -- iteration latency model ---------------------------------------------------
+
+    def _layer_ops(self, bucket: int) -> list[OperatorInstance]:
+        ops = self._ops_by_bucket.get(bucket)
+        if ops is None:
+            ops = llm_inference_layer(
+                self.config.model,
+                bucket,
+                ParallelismConfig(tp=self.config.tp),
+                self.config.device,
+                self.config.topology,
+            )
+            self._ops_by_bucket[bucket] = ops
+        return ops
+
+    def _overlap_target_latency(self, problem: OverlapProblem) -> float:
+        if self.mode == "overlap":
+            return self.plan_cache.lookup(problem).overlap_latency
+        return NonOverlapBaseline(self.config.settings).latency(problem)
+
+    def iteration_latency(self, total_tokens: int) -> float:
+        """Latency of one engine iteration batching ``total_tokens`` tokens."""
+        bucket = bucket_tokens(total_tokens, self.config.min_bucket)
+        if self.mode == "non-overlap" and bucket in self._baseline_latency_by_bucket:
+            return self._baseline_latency_by_bucket[bucket]
+        per_layer = 0.0
+        for op in self._layer_ops(bucket):
+            if op.problem is not None:
+                per_layer += self._overlap_target_latency(op.problem) * op.count
+            else:
+                per_layer += op.other_latency * op.count
+        latency = per_layer * self.config.layers + self.config.iteration_overhead_us * 1e-6
+        if self.mode == "non-overlap":
+            self._baseline_latency_by_bucket[bucket] = latency
+        return latency
+
+    # -- event loop ------------------------------------------------------------------
+
+    def run(self, requests: list[Request]) -> ServingResult:
+        """Simulate the full lifetime of ``requests`` and report the result."""
+        engine = EventEngine()
+        scheduler = ContinuousBatchingScheduler(
+            max_batch_tokens=self.config.max_batch_tokens,
+            max_batch_size=self.config.max_batch_size,
+        )
+        requests = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        arrivals = {r.request_id: r for r in requests}
+        first_token_times: dict[int, float] = {}
+        records: list[RequestRecord] = []
+        state = {"busy": False, "iterations": 0, "tokens": 0}
+        token_buckets: dict[int, int] = {}
+
+        def start_next_iteration() -> None:
+            batch = scheduler.next_batch()
+            if batch is None:
+                state["busy"] = False
+                return
+            state["busy"] = True
+            engine.schedule_after(self.iteration_latency(batch.total_tokens),
+                                  finish_iteration, batch)
+
+        def finish_iteration(batch: IterationBatch) -> None:
+            outcome = scheduler.apply(batch)
+            now = engine.now
+            state["iterations"] += 1
+            state["tokens"] += batch.total_tokens
+            bucket = bucket_tokens(batch.total_tokens, self.config.min_bucket)
+            token_buckets[bucket] = token_buckets.get(bucket, 0) + 1
+            for request_id in outcome.first_tokens:
+                first_token_times[request_id] = now
+            for request_id in outcome.finished:
+                request = arrivals[request_id]
+                records.append(
+                    RequestRecord(
+                        request_id=request_id,
+                        arrival_time=request.arrival_time,
+                        first_token_time=first_token_times.pop(request_id),
+                        finish_time=now,
+                        prompt_tokens=request.prompt_tokens,
+                        output_tokens=request.output_tokens,
+                    )
+                )
+            start_next_iteration()
+
+        def on_arrival(request: Request) -> None:
+            scheduler.add(request)
+            if not state["busy"]:
+                start_next_iteration()
+
+        for request in requests:
+            engine.schedule(request.arrival_time, on_arrival, request)
+        engine.run()
+
+        if scheduler.has_work:  # pragma: no cover - defensive
+            raise RuntimeError("serving simulation drained with unfinished requests")
+
+        records.sort(key=lambda r: r.request_id)
+        return ServingResult(
+            mode=self.mode,
+            records=records,
+            iterations=state["iterations"],
+            total_batched_tokens=state["tokens"],
+            makespan_s=engine.now,
+            token_buckets=token_buckets,
+            plan_cache_stats=self.plan_cache.stats() if self.plan_cache is not None else None,
+        )
+
+
+def compare_serving(
+    config: ServeConfig,
+    requests: list[Request],
+    plan_cache: PlanCache | None = None,
+) -> dict[str, ServingResult]:
+    """Run the same traffic under overlap and non-overlap execution.
+
+    The two runs share nothing but the request list, so the baseline's slower
+    iterations feed back into its queueing delays -- the serving-level effect
+    operator-level speedup numbers cannot show.
+    """
+    overlap = ServingSimulator(config, plan_cache=plan_cache, mode="overlap").run(requests)
+    baseline = ServingSimulator(config, mode="non-overlap").run(requests)
+    return {"overlap": overlap, "non-overlap": baseline}

@@ -122,6 +122,52 @@ def table3_matrix(collective: str = "allreduce", device_family: str = "rtx4090")
     )
 
 
+def serving_matrix(
+    rate_rps: float = 32.0,
+    model: ModelConfig = LLAMA3_70B,
+    tp: int = 4,
+    num_requests: int = 48,
+    max_batch_tokens: int = 4096,
+    max_batch_size: int = 32,
+    distribution: str = "chat",
+    seed: int = 0,
+) -> ScenarioMatrix:
+    """GEMM+AllReduce pairs that continuous batching produces at one arrival rate.
+
+    A dry scheduler run over seeded Poisson traffic yields every iteration's
+    batched token count; the distinct power-of-two buckets become the ``M``
+    axis of the matrix (with the row-parallel N/K of the served model), so a
+    sweep over ``serving-rate*`` presets grids the tuner over exactly the
+    shapes online serving would request at those arrival rates.
+    """
+    from repro.serve import (
+        PoissonArrivals,
+        bucket_tokens,
+        distribution_by_name,
+        iteration_gemm_shapes,
+        profile_iteration_tokens,
+    )
+
+    requests = PoissonArrivals(
+        rate_rps=rate_rps,
+        distribution=distribution_by_name(distribution),
+        seed=seed,
+        num_requests=num_requests,
+    ).generate()
+    tokens = profile_iteration_tokens(
+        requests, max_batch_tokens=max_batch_tokens, max_batch_size=max_batch_size
+    )
+    buckets = sorted({bucket_tokens(t) for t in tokens})
+    shapes = [shape for b in buckets for shape in iteration_gemm_shapes(b, model, tp)]
+    return ScenarioMatrix.build(
+        name=f"serving-rate{rate_rps:g}",
+        workload=f"serving-rate{rate_rps:g}",
+        shapes=shapes,
+        platforms=[Platform(device="a800", topology="a800-nvlink", gpus=tp)],
+        collectives=["allreduce"],
+    )
+
+
 def smoke_matrix() -> ScenarioMatrix:
     """Small-but-wide matrix for CI and tests: 12 cheap scenarios.
 
@@ -146,6 +192,12 @@ _PRESETS: dict[str, Callable[[], ScenarioMatrix]] = {
     "table3-ar-rtx4090": lambda: table3_matrix("allreduce", "rtx4090"),
     "table3-rs-a800": lambda: table3_matrix("reducescatter", "a800"),
     "table3-a2a-a800": lambda: table3_matrix("alltoall", "a800"),
+    # Serving traffic at increasing arrival rates: sweep several presets
+    # together (``--preset serving-rate8 --preset serving-rate32 ...``) to
+    # grid the tuner over the shapes online serving produces under load.
+    "serving-rate8": lambda: serving_matrix(rate_rps=8.0),
+    "serving-rate32": lambda: serving_matrix(rate_rps=32.0),
+    "serving-rate128": lambda: serving_matrix(rate_rps=128.0),
 }
 
 

@@ -78,6 +78,41 @@ class TestVerifyCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "all close" in out
+        assert "tiny-pcie" in out  # the default topology preset
+
+    def test_verify_honors_topology(self, capsys):
+        code = main(["verify", "--collective", "allreduce", "--gpus", "4",
+                     "--topology", "a800-nvlink"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all close" in out and "a800-nvlink" in out
+
+    def test_verify_multinode(self, capsys):
+        code = main(["verify", "--collective", "allreduce",
+                     "--nodes", "2", "--gpus-per-node", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all close" in out and "4 simulated GPUs" in out and "2node" in out
+
+
+class TestMultinodeKnobs:
+    def test_report_routes_through_multinode_a800(self, capsys):
+        code = main([
+            "report", "--m", "1024", "--n", "4096", "--k", "4096",
+            "--device", "a800", "--nodes", "2", "--gpus-per-node", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "8x A800" in out and "a800-2node-ib" in out
+
+    def test_tune_accepts_nodes(self, capsys):
+        code = main([
+            "tune", "--m", "1024", "--n", "4096", "--k", "4096",
+            "--device", "a800", "--nodes", "2", "--gpus-per-node", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "a800-2node-ib" in out
 
 
 class TestSweepCommand:
@@ -130,6 +165,78 @@ class TestSweepCommand:
     def test_sweep_requires_a_source(self):
         with pytest.raises(SystemExit):
             main(["sweep"])
+
+
+class TestServeCommand:
+    def test_serve_smoke_reports_and_beats_baseline(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "serve.json"
+        code = main(["serve", "--smoke", "--json", str(report_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        for marker in ("TTFT", "TPOT", "throughput", "goodput", "plan cache", "baseline"):
+            assert marker in out
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        overlap, baseline = report["overlap"], report["non-overlap"]
+        cache = overlap["plan_cache"]
+        assert cache["tuner_invocations"] < overlap["iterations"]
+        assert cache["hits"] > cache["misses"]
+        assert (overlap["metrics"]["e2e_latency"]["mean"]
+                < baseline["metrics"]["e2e_latency"]["mean"])
+
+    def test_serve_smoke_is_deterministic(self, capsys, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["serve", "--smoke", "--json", str(first)]) == 0
+        assert main(["serve", "--smoke", "--json", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_text(encoding="utf-8") == second.read_text(encoding="utf-8")
+
+    def test_serve_trace_input(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        records = [
+            {"arrival_time": 0.0, "prompt_tokens": 64, "output_tokens": 4},
+            {"arrival_time": 0.01, "prompt_tokens": 128, "output_tokens": 8},
+        ]
+        trace.write_text("\n".join(json.dumps(r) for r in records) + "\n", encoding="utf-8")
+        code = main(["serve", "--trace", str(trace), "--workload", "llama2-7b",
+                     "--layers", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 requests" in out
+
+    def test_serve_duration_is_not_capped_by_default_requests(self, capsys):
+        # 200 req/s over 0.5s produces ~100 requests: well past the 64-request
+        # default, which must not apply when --duration bounds the traffic.
+        code = main(["serve", "--duration", "0.5", "--rate", "200",
+                     "--workload", "llama2-7b", "--layers", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        n_requests = int(out.split("traffic    : ")[1].split(" requests")[0])
+        assert n_requests > 64
+
+    def test_serve_smoke_respects_explicit_flags(self, capsys):
+        code = main(["serve", "--smoke", "--workload", "llama3-70b", "--requests", "4",
+                     "--layers", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Llama3-70B (1 layers" in out  # explicit flags win over the preset
+        assert "4 requests" in out
+        assert "summarize" in out  # unset flags still take the smoke defaults
+
+    def test_serve_warm_cache_round_trip(self, capsys, tmp_path):
+        warm = tmp_path / "warm.json"
+        args = ["serve", "--smoke", "--warm-cache", str(warm)]
+        assert main(args) == 0
+        assert warm.exists()
+        first = capsys.readouterr().out
+        assert ", 0 tuner invocations)" not in first
+        # The second run warm-starts every bucket from the persisted shape
+        # cache, so the tuner is never invoked.
+        assert main(args) == 0
+        assert ", 0 tuner invocations)" in capsys.readouterr().out
 
 
 class TestParser:

@@ -60,7 +60,41 @@ class TestPresets:
 
     def test_known_topologies(self):
         names = set(known_topologies())
-        assert {"rtx4090-pcie", "a800-nvlink", "ascend910b-hccs", "a800-2node-ib"} <= names
+        assert {"rtx4090-pcie", "a800-nvlink", "ascend910b-hccs", "a800-2node-ib",
+                "tiny-pcie"} <= names
+
+    def test_with_n_gpus_is_idempotent(self):
+        # Presets are already scaled via with_n_gpus; re-applying the same GPU
+        # count must be the identity (CLI/sweep paths go through the registry).
+        for name, topo in known_topologies().items():
+            assert topo.with_n_gpus(topo.n_gpus) == topo, name
+            assert topo.with_n_gpus(8).with_n_gpus(8) == topo.with_n_gpus(8), name
+
+    def test_with_n_gpus_is_path_independent(self):
+        direct = a800_nvlink(2).with_n_gpus(8)
+        via_four = a800_nvlink(2).with_n_gpus(4).with_n_gpus(8)
+        assert via_four.peak_bus_bandwidth_gbps == pytest.approx(
+            direct.peak_bus_bandwidth_gbps
+        )
+        assert via_four.base_latency_us == pytest.approx(direct.base_latency_us)
+
+    def test_registry_matches_preset_builders(self):
+        assert known_topologies()["a800-nvlink"].with_n_gpus(4) == a800_nvlink(4)
+        assert known_topologies()["rtx4090-pcie"].with_n_gpus(4) == rtx4090_pcie(4)
+
+    def test_scaling_down_never_beats_the_base_parameters(self):
+        # A directly-built topology's numbers are taken at face value: scaling
+        # the 16-GPU IB cluster down must not exceed its NIC-derived
+        # bandwidth, nor undercut its InfiniBand base latency.
+        from repro.comm.topology import multinode_a800
+
+        cluster = multinode_a800(2, 8)
+        smaller = cluster.with_n_gpus(8)
+        assert smaller.peak_bus_bandwidth_gbps <= cluster.peak_bus_bandwidth_gbps
+        assert smaller.base_latency_us >= cluster.base_latency_us
+        bigger = cluster.with_n_gpus(32)
+        assert bigger.peak_bus_bandwidth_gbps < cluster.peak_bus_bandwidth_gbps
+        assert bigger.base_latency_us > cluster.base_latency_us
 
     @pytest.mark.parametrize("n", [2, 4, 8])
     def test_all_paper_gpu_counts_supported(self, n):

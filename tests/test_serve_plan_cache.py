@@ -1,0 +1,157 @@
+"""Tests for the shape-bucketed LRU plan cache (repro.serve.plan_cache)."""
+
+import pytest
+
+from repro.core.baselines import NonOverlapBaseline
+from repro.core.tuner import GemmShapeCache, PredictiveTuner
+from repro.serve.plan_cache import PlanCache, bucket_tokens
+
+
+class TestBucketing:
+    @pytest.mark.parametrize(
+        "tokens,expected",
+        [(1, 16), (15, 16), (16, 16), (17, 32), (100, 128), (1000, 1024), (1024, 1024)],
+    )
+    def test_power_of_two_rounding(self, tokens, expected):
+        assert bucket_tokens(tokens) == expected
+
+    def test_min_bucket_floor(self):
+        assert bucket_tokens(3, min_bucket=64) == 64
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            bucket_tokens(0)
+
+
+@pytest.fixture
+def problem(small_problem):
+    """The conftest small problem (m=32: already on a bucket edge)."""
+    return small_problem
+
+
+def at_tokens(problem, m):
+    from dataclasses import replace
+
+    return problem.with_shape(replace(problem.shape, m=m))
+
+
+class TestLookup:
+    def test_same_bucket_is_a_hit(self, problem, fast_settings):
+        cache = PlanCache(fast_settings, capacity=4)
+        first = cache.lookup(at_tokens(problem, 17))
+        second = cache.lookup(at_tokens(problem, 32))  # same bucket (32)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert second is first
+        assert cache.tuner_invocations == 1
+
+    def test_distinct_buckets_miss(self, problem, fast_settings):
+        cache = PlanCache(fast_settings, capacity=4)
+        cache.lookup(at_tokens(problem, 16))
+        cache.lookup(at_tokens(problem, 32))
+        assert (cache.hits, cache.misses) == (0, 2)
+        assert len(cache) == 2
+
+    def test_plan_never_slower_than_baseline(self, problem, fast_settings):
+        cache = PlanCache(fast_settings, capacity=4)
+        for m in (16, 32, 64):
+            plan = cache.lookup(at_tokens(problem, m))
+            assert plan.overlap_latency <= plan.non_overlap_latency
+            baseline = NonOverlapBaseline(fast_settings).latency(plan.problem)
+            assert plan.non_overlap_latency == baseline
+
+    def test_capacity_zero_disables_caching(self, problem, fast_settings):
+        cache = PlanCache(fast_settings, capacity=0)
+        cache.lookup(problem)
+        cache.lookup(problem)
+        assert (cache.hits, cache.misses) == (0, 2)
+        assert len(cache) == 0
+        assert cache.tuner_invocations == 2
+
+
+class TestLRUEviction:
+    def test_eviction_order_is_least_recently_used(self, problem, fast_settings):
+        cache = PlanCache(fast_settings, capacity=2)
+        key_a = cache.key(at_tokens(problem, 16))
+        key_b = cache.key(at_tokens(problem, 32))
+        key_c = cache.key(at_tokens(problem, 64))
+
+        cache.lookup(at_tokens(problem, 16))  # A
+        cache.lookup(at_tokens(problem, 32))  # B
+        cache.lookup(at_tokens(problem, 16))  # touch A: B is now LRU
+        assert cache.cached_keys() == [key_b, key_a]
+
+        cache.lookup(at_tokens(problem, 64))  # C evicts B
+        assert cache.evictions == 1
+        assert cache.cached_keys() == [key_a, key_c]
+
+        cache.lookup(at_tokens(problem, 32))  # B was evicted: tunes again
+        assert cache.misses == 4
+        assert cache.tuner_invocations == 4
+
+    def test_counters_and_stats(self, problem, fast_settings):
+        cache = PlanCache(fast_settings, capacity=1)
+        cache.lookup(at_tokens(problem, 16))
+        cache.lookup(at_tokens(problem, 16))
+        cache.lookup(at_tokens(problem, 32))
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["evictions"] == 1
+        assert stats["lookups"] == 3
+        assert stats["hit_rate"] == pytest.approx(1 / 3)
+        assert stats["size"] == 1
+        assert stats["capacity"] == 1
+        assert stats["tuner_invocations"] == 2
+
+
+class TestCacheHitIdenticalToFreshTune:
+    def test_hit_equals_fresh_plan_bit_for_bit(self, problem, fast_settings):
+        fresh_cache = PlanCache(fast_settings, capacity=4)
+        fresh = fresh_cache.lookup(problem)
+
+        cache = PlanCache(fast_settings, capacity=4)
+        cache.lookup(at_tokens(problem, 20))  # miss tunes the bucket (32)
+        hit = cache.lookup(problem)  # hit on the same bucket
+        assert cache.hits == 1
+
+        assert hit.tuning == fresh.tuning
+        assert hit.problem == fresh.problem
+        assert hit.overlap_latency == fresh.overlap_latency
+        assert hit.non_overlap_latency == fresh.non_overlap_latency
+
+
+class TestWarmStart:
+    def test_warm_start_skips_the_tuner(self, problem, fast_settings):
+        bucketed = PlanCache(fast_settings).bucketed_problem(problem)
+        warm = GemmShapeCache()
+        warm.add(bucketed.shape, PredictiveTuner(fast_settings).tune(bucketed))
+
+        cache = PlanCache(fast_settings, capacity=4, warm_start=warm)
+        cache.lookup(problem)
+        assert cache.tuner_invocations == 0
+        assert cache.warm_start_hits == 1
+        assert cache.misses == 1  # still a plan-cache miss, served from warm start
+
+    def test_fresh_tunes_feed_the_warm_start(self, problem, fast_settings):
+        warm = GemmShapeCache()
+        cache = PlanCache(fast_settings, capacity=4, warm_start=warm)
+        cache.lookup(problem)
+        assert cache.tuner_invocations == 1
+        assert len(warm) == 1
+
+    def test_warm_start_use_overlap_is_revalidated(self, problem, fast_settings):
+        """A warm entry's overlap decision (possibly from another platform) is
+        re-checked against the ground-truth executor in *both* directions."""
+        from dataclasses import replace
+
+        bucketed = PlanCache(fast_settings).bucketed_problem(problem)
+        honest = PlanCache(fast_settings, capacity=4).lookup(problem)
+
+        tuned = PredictiveTuner(fast_settings).tune(bucketed)
+        warm = GemmShapeCache()
+        # Persist the entry with the overlap decision flipped.
+        warm.add(bucketed.shape, replace(tuned, use_overlap=not honest.tuning.use_overlap))
+
+        plan = PlanCache(fast_settings, capacity=4, warm_start=warm).lookup(problem)
+        assert plan.tuning.use_overlap == honest.tuning.use_overlap
+        assert plan.overlap_latency == honest.overlap_latency

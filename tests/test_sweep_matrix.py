@@ -135,3 +135,16 @@ class TestPresets:
     def test_unknown_preset_rejected(self):
         with pytest.raises(KeyError, match="unknown sweep preset"):
             matrix_from_preset("nope")
+
+    def test_serving_presets_grid_over_arrival_rates(self):
+        from repro.sweep.presets import serving_matrix
+
+        low = serving_matrix(rate_rps=8.0)
+        high = serving_matrix(rate_rps=128.0)
+        assert low.name == "serving-rate8" and high.name == "serving-rate128"
+        assert {s.workload for s in low.expand()} == {"serving-rate8"}
+        # Heavier traffic batches more tokens per iteration, reaching larger
+        # GEMM M buckets than the light-traffic preset.
+        assert max(s.m for s in high.expand()) > max(s.m for s in low.expand())
+        # The dry-run derivation is deterministic.
+        assert serving_matrix(rate_rps=8.0).expand() == low.expand()

@@ -1,0 +1,54 @@
+"""Tests for the JSONL result store (repro.sweep.store), esp. crash recovery."""
+
+import json
+
+from repro.sweep.store import ResultStore
+
+
+def test_truncated_trailing_record_is_quarantined(tmp_path):
+    """A run killed mid-write leaves a partial last line; resume must survive it."""
+    path = tmp_path / "results.jsonl"
+    store = ResultStore(path)
+    store.append({"job_id": "job-1", "status": "ok", "speedup": 1.2})
+    store.append({"job_id": "job-2", "status": "ok", "speedup": 1.1})
+
+    # Truncate the file mid-way through the second record.
+    text = path.read_text(encoding="utf-8")
+    first_line_end = text.index("\n") + 1
+    path.write_text(text[: first_line_end + len(text[first_line_end:]) // 2], encoding="utf-8")
+
+    reloaded = ResultStore(path)
+    records = list(reloaded.records())
+    assert [r["job_id"] for r in records] == ["job-1"]
+    assert reloaded.quarantined == 1
+    # The interrupted job is NOT in the resume skip-set, so it is retried.
+    assert reloaded.completed_ids() == {"job-1"}
+
+
+def test_quarantined_line_mid_file_is_skipped(tmp_path):
+    path = tmp_path / "results.jsonl"
+    lines = [
+        json.dumps({"job_id": "job-1", "status": "ok"}),
+        '{"job_id": "job-2", "status"',  # corrupt middle line
+        json.dumps({"job_id": "job-3", "status": "ok"}),
+    ]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    store = ResultStore(path)
+    assert [r["job_id"] for r in store.records()] == ["job-1", "job-3"]
+    assert store.quarantined == 1
+
+
+def test_append_after_quarantine_round_trips(tmp_path):
+    path = tmp_path / "results.jsonl"
+    path.write_text('{"job_id": "job-1"', encoding="utf-8")  # only a partial record
+    store = ResultStore(path)
+    assert store.completed_ids() == set()
+    store.append({"job_id": "job-2", "status": "ok"})
+    assert store.completed_ids() == {"job-2"}
+
+
+def test_clean_file_has_no_quarantined_lines(tmp_path):
+    store = ResultStore(tmp_path / "results.jsonl")
+    store.append({"job_id": "job-1"})
+    assert len(store) == 1
+    assert store.quarantined == 0
