@@ -11,19 +11,31 @@ from repro.workloads.operators import EndToEndWorkload
 PATTERNS = ("GEMM+AR", "GEMM+RS", "GEMM+A2A", "others")
 
 
+def _shares_table(named_shares: Iterable[tuple[str, dict]]) -> str:
+    """Render (name, pattern -> fraction) pairs as the Fig. 4 share table."""
+    rows = [
+        [name] + [f"{shares.get(pattern, 0.0) * 100:.1f}%" for pattern in PATTERNS]
+        for name, shares in named_shares
+    ]
+    return format_table(["workload", *PATTERNS], rows, title="GEMM + collective latency share")
+
+
 def latency_breakdown_table(workloads: Iterable[EndToEndWorkload]) -> str:
     """Render the per-workload latency shares as a text table."""
-    rows = []
-    for workload in workloads:
-        shares = workload.breakdown()
-        rows.append(
-            [workload.name]
-            + [f"{shares.get(pattern, 0.0) * 100:.1f}%" for pattern in PATTERNS]
-        )
-    return format_table(["workload", *PATTERNS], rows, title="GEMM + collective latency share")
+    return _shares_table((workload.name, workload.breakdown()) for workload in workloads)
 
 
 def breakdown_fractions(workload: EndToEndWorkload) -> dict[str, float]:
     """The Fig. 4 fractions of one workload, with every pattern present."""
     shares = workload.breakdown()
     return {pattern: shares.get(pattern, 0.0) for pattern in PATTERNS}
+
+
+def estimate_breakdown_table(estimates: Iterable) -> str:
+    """Render the Fig. 4 latency shares of e2e estimates as a text table.
+
+    Accepts :class:`~repro.e2e.estimator.WorkloadEstimate` objects (anything
+    with ``name`` and ``pattern_shares()``); shares come from the non-overlap
+    pricing, matching the paper's profiling figure.
+    """
+    return _shares_table((estimate.name, estimate.pattern_shares()) for estimate in estimates)

@@ -29,7 +29,11 @@ Sub-commands:
 * ``serve``   -- simulate online serving (Poisson or trace arrivals,
   continuous batching, shape-bucketed plan cache) and report TTFT/TPOT
   percentiles, throughput and goodput, optionally against the non-overlap
-  baseline.
+  baseline;
+* ``e2e``     -- estimate whole-model latency for the paper's end-to-end
+  workloads (Table 4): every operator of every layer is priced through a
+  shared plan store (repeated layers are tuned once) and compared against
+  the non-overlap execution and the perfect-overlap bound.
 
 Multi-GPU problems default to one server (``--topology`` x ``--gpus``); pass
 ``--nodes``/``--gpus-per-node`` instead to place the collective on a
@@ -177,6 +181,36 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="CI-sized defaults for any flags not passed explicitly "
                             "(short summarization burst on the small model); "
                             "implies --baseline")
+
+    from repro.workloads.e2e import workload_builders
+
+    e2e = sub.add_parser(
+        "e2e", help="estimate whole-model latency of the paper's end-to-end workloads"
+    )
+    e2e.add_argument("--workload", action="append", dest="workloads", metavar="NAME",
+                     choices=sorted(workload_builders()),
+                     help="workload to estimate (repeatable; default: all five paper "
+                          f"workloads: {', '.join(sorted(workload_builders()))})")
+    e2e.add_argument("--tokens", type=int, default=None,
+                     help="input token count / chunk size override "
+                          "(default: each model's paper input size)")
+    e2e.add_argument("--layers", type=int, default=None,
+                     help="layers per model (default: the paper's per-model counts; "
+                          "--smoke uses 2)")
+    e2e.add_argument("--device", default="a800", choices=sorted(known_devices()),
+                     help="simulated accelerator")
+    add_multinode_arguments(e2e)
+    e2e.add_argument("--no-reuse", action="store_true",
+                     help="disable the shared plan store (re-tune every operator "
+                          "occurrence; the estimate itself is bit-identical)")
+    e2e.add_argument("--seed", type=int, default=0, help="seed of the stochastic model terms")
+    e2e.add_argument("--trace", type=str, default=None, metavar="PREFIX",
+                     help="export a Chrome trace per workload to PREFIX-<workload>.json")
+    e2e.add_argument("--json", type=str, default=None, metavar="PATH",
+                     help="write the full report to a JSON file")
+    e2e.add_argument("--smoke", action="store_true",
+                     help="CI-sized run: paper shapes but 2 layers per model "
+                          "(the committed golden fixtures and BENCH_e2e baseline)")
     return parser
 
 
@@ -467,6 +501,59 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_e2e(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.e2e import estimate_models
+    from repro.workloads.e2e import workload_builders
+
+    names = args.workloads or sorted(workload_builders())
+    layers = args.layers
+    if layers is None and args.smoke:
+        layers = 2
+    topology = _topology_from_args(args) if args.nodes else None
+    settings = OverlapSettings(seed=args.seed)
+    report = estimate_models(
+        names=names,
+        tokens=args.tokens,
+        device=device_by_name(args.device),
+        topology=topology,
+        layers=layers,
+        settings=settings,
+        reuse=not args.no_reuse,
+        record_trace=bool(args.trace),
+    )
+    report.meta["smoke"] = args.smoke
+
+    print(report.table())
+    print()
+    print(report.breakdown_table())
+    for estimate in report.estimates:
+        print()
+        print(report.operator_table(estimate))
+    stats = report.plan_stats
+    print(f"\nplan store : {stats['size']} plans, {stats['lookups']} lookups, "
+          f"{stats['hit_rate'] * 100:.1f}% hits, "
+          f"{stats['tuner_invocations']} tuner invocations"
+          + (" (reuse disabled)" if args.no_reuse else ""))
+
+    if args.trace:
+        from repro.sim.trace_export import export_chrome_trace
+
+        for name, estimate in zip(names, report.estimates):
+            path = export_chrome_trace(estimate.trace, Path(f"{args.trace}-{name}.json"))
+            print(f"trace      : {path}")
+    if args.json:
+        target = Path(args.json)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"report     : {target}")
+    return 0
+
+
 _COMMANDS = {
     "report": _command_report,
     "tune": _command_tune,
@@ -474,6 +561,7 @@ _COMMANDS = {
     "verify": _command_verify,
     "sweep": _command_sweep,
     "serve": _command_serve,
+    "e2e": _command_e2e,
 }
 
 

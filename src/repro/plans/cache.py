@@ -1,0 +1,220 @@
+"""Shared store of tuned, pre-simulated overlap plans.
+
+Both online serving and the end-to-end estimator face the same problem: many
+"GEMM + collective" instances, few *distinct* ones.  Continuous batching
+produces a new GEMM ``M`` every iteration but the values cluster; a
+transformer stack repeats the same layer (and therefore the exact same
+operator shapes) dozens of times.  Re-running the predictive tuner per
+instance would put a milliseconds-scale search on the critical path, so a
+:class:`PlanCache` tunes each distinct problem once and serves every repeat
+from the cache -- the paper's shape-cache reuse argument (Sec. 4.2.2) applied
+at system granularity.
+
+Two keying modes cover the two consumers:
+
+* **bucketed** (``bucketing=True``, the serving default): ``M`` is rounded up
+  to a power-of-two bucket edge, so decode iterations whose token counts
+  cluster share one plan per bucket;
+* **exact** (``bucketing=False``, the end-to-end estimator): the key is the
+  exact problem, so repeated layers reuse their plans while the simulated
+  latency stays that of the true shape (no rounding error enters the model
+  estimate).
+
+The cache is LRU with hit/miss/evict counters, can warm-start from a
+persisted :class:`~repro.core.tuner.GemmShapeCache` (the offline tuning
+artifact the sweep subsystem already writes), and pre-simulates the overlap
+latency, the non-overlap baseline and the perfect-overlap bound of each plan
+so a consumer's per-instance cost is a dictionary lookup.
+
+Because the one-time cost of building a cache entry is amortized over every
+instance that reuses it, the cache also *validates* the tuner's
+overlap-vs-fallback decision against the ground-truth executor: when the
+simulated overlap latency loses to the sequential execution (typical for the
+tiny decode-dominated GEMMs, where the predictor's non-overlap estimate is
+least accurate), the entry is demoted to the sequential fallback.  A cached
+plan is therefore never slower than the non-overlap baseline.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+
+from repro.core.baselines import NonOverlapBaseline
+from repro.core.config import DEFAULT_SETTINGS, OverlapProblem, OverlapSettings
+from repro.core.executor import OverlapExecutor
+from repro.core.tuner import GemmShapeCache, PredictiveTuner, TuningResult
+
+
+def bucket_tokens(tokens: int, min_bucket: int = 16) -> int:
+    """Round a token count up to the next power-of-two bucket edge."""
+    if tokens < 1:
+        raise ValueError("tokens must be >= 1")
+    bucket = max(1, min_bucket)
+    while bucket < tokens:
+        bucket *= 2
+    return bucket
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """One tuned, pre-simulated plan for a cached problem."""
+
+    problem: OverlapProblem  # the (possibly bucketed) problem the plan was tuned for
+    tuning: TuningResult
+    overlap_latency: float  # simulated latency of the tuned execution
+    non_overlap_latency: float  # sequential GEMM-then-collective baseline
+    theoretical_latency: float  # perfect-overlap lower bound
+
+    @property
+    def speedup(self) -> float:
+        return self.non_overlap_latency / self.overlap_latency
+
+    @property
+    def bound_speedup(self) -> float:
+        """Speedup of the perfect-overlap bound over the sequential baseline."""
+        return self.non_overlap_latency / self.theoretical_latency
+
+
+class PlanCache:
+    """LRU cache mapping problems to tuned overlap plans.
+
+    ``capacity=0`` disables caching entirely (every lookup tunes afresh),
+    which is the "no plan cache" / "no reuse" arm of the serving and e2e
+    benchmarks.  A ``warm_start`` :class:`GemmShapeCache` short-circuits tuner
+    invocations for shapes close to an already-tuned entry.  ``bucketing``
+    selects the keying mode (see the module docstring).
+    """
+
+    def __init__(
+        self,
+        settings: OverlapSettings = DEFAULT_SETTINGS,
+        capacity: int = 64,
+        warm_start: GemmShapeCache | None = None,
+        min_bucket: int = 16,
+        bucketing: bool = True,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        if min_bucket < 1:
+            raise ValueError("min_bucket must be >= 1")
+        self.settings = settings
+        self.capacity = capacity
+        self.warm_start = warm_start
+        self.min_bucket = min_bucket
+        self.bucketing = bucketing
+        self._tuner = PredictiveTuner(settings)
+        self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.tuner_invocations = 0
+        self.warm_start_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- keys --------------------------------------------------------------------
+
+    def bucketed_problem(self, problem: OverlapProblem) -> OverlapProblem:
+        """The problem with ``M`` rounded up to its bucket edge (exact mode: as is)."""
+        if not self.bucketing:
+            return problem
+        shape = problem.shape
+        bucketed_m = bucket_tokens(shape.m, self.min_bucket)
+        if bucketed_m == shape.m:
+            return problem
+        return problem.with_shape(replace(shape, m=bucketed_m))
+
+    def key(self, problem: OverlapProblem) -> tuple:
+        """Cache key of the bucketed problem (everything latency depends on)."""
+        bucketed = self.bucketed_problem(problem)
+        return (
+            bucketed.shape.m,
+            bucketed.shape.n,
+            bucketed.shape.k,
+            bucketed.device.name,
+            bucketed.topology.name,
+            bucketed.n_gpus,
+            bucketed.collective.name,
+            bucketed.dtype_bytes,
+            bucketed.imbalance,
+        )
+
+    # -- lookup ------------------------------------------------------------------
+
+    def lookup(self, problem: OverlapProblem) -> CachedPlan:
+        """The cached plan for ``problem``'s key, tuning on a miss."""
+        key = self.key(problem)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+
+        self.misses += 1
+        entry = self._build_plan(self.bucketed_problem(problem))
+        if self.capacity > 0:
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return entry
+
+    def _build_plan(self, bucketed: OverlapProblem) -> CachedPlan:
+        tuning = None
+        if self.warm_start is not None:
+            tuning = self.warm_start.lookup(bucketed, self.settings)
+            if tuning is not None:
+                self.warm_start_hits += 1
+        if tuning is None:
+            self.tuner_invocations += 1
+            tuning = self._tuner.tune(bucketed)
+            if self.warm_start is not None:
+                self.warm_start.add(bucketed.shape, tuning)
+        executor = OverlapExecutor(bucketed, self.settings)
+        sequential_latency = executor.simulate_sequential().latency
+        # Ground-truth validation of the overlap-vs-fallback decision: the
+        # tuner's (or a warm-start entry's) ``use_overlap`` flag is a
+        # prediction -- and a warm-start entry may even have been tuned on a
+        # different platform -- so always simulate the candidate partition on
+        # *this* problem and take whichever execution is faster.
+        candidate_latency = executor.simulate(tuning.partition).latency
+        use_overlap = candidate_latency <= sequential_latency
+        if use_overlap != tuning.use_overlap:
+            tuning = replace(tuning, use_overlap=use_overlap)
+        overlap_latency = candidate_latency if use_overlap else sequential_latency
+        return CachedPlan(
+            problem=bucketed,
+            tuning=tuning,
+            overlap_latency=overlap_latency,
+            non_overlap_latency=NonOverlapBaseline(self.settings).latency(bucketed),
+            theoretical_latency=executor.theoretical_latency(),
+        )
+
+    # -- stats -------------------------------------------------------------------
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def cached_keys(self) -> list[tuple]:
+        """Keys in LRU order (least recently used first)."""
+        return list(self._entries)
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "tuner_invocations": self.tuner_invocations,
+            "warm_start_hits": self.warm_start_hits,
+        }

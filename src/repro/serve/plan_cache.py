@@ -1,196 +1,13 @@
-"""LRU, shape-bucketed cache of tuned overlap plans for online serving.
+"""Serving-layer view of the shared plan store (compatibility re-export).
 
-Continuous batching produces a new GEMM ``M`` every iteration, but the values
-cluster: decode-heavy iterations sit near the batch size, saturated iterations
-at the token budget.  Re-running the predictive tuner per iteration would put
-a milliseconds-scale search on the critical path, so the serving layer rounds
-``M`` up to a power-of-two bucket and caches one tuned plan per bucketed
-problem.  Repeated shapes then skip the tuner entirely -- the paper's
-shape-cache reuse argument (Sec. 4.2.2) applied at serving granularity.
-
-The cache is LRU with hit/miss/evict counters, can warm-start from a
-persisted :class:`~repro.core.tuner.GemmShapeCache` (the offline tuning
-artifact the sweep subsystem already writes), and pre-simulates both the
-overlap and the non-overlap latency of each plan so the serving simulator's
-per-iteration cost is a dictionary lookup.
-
-Because the one-time cost of building a cache entry is amortized over every
-iteration that reuses the bucket, the cache also *validates* the tuner's
-overlap-vs-fallback decision against the ground-truth executor: when the
-simulated overlap latency loses to the sequential execution (typical for the
-tiny decode-dominated GEMMs, where the predictor's non-overlap estimate is
-least accurate), the entry is demoted to the sequential fallback.  A cached
-plan is therefore never slower than the non-overlap baseline.
+The LRU, shape-bucketed cache of tuned overlap plans originally lived here;
+it was generalized into :mod:`repro.plans.cache` when the end-to-end
+estimator started sharing it (exact-shape keying, cross-layer reuse).  The
+serving layer keeps using the bucketed mode: continuous batching produces a
+new GEMM ``M`` every iteration, but the values cluster, so rounding ``M`` up
+to a power-of-two bucket lets repeated shapes skip the tuner entirely.
 """
 
-from __future__ import annotations
+from repro.plans.cache import CachedPlan, PlanCache, bucket_tokens
 
-from collections import OrderedDict
-from dataclasses import dataclass, replace
-
-from repro.core.baselines import NonOverlapBaseline
-from repro.core.config import DEFAULT_SETTINGS, OverlapProblem, OverlapSettings
-from repro.core.executor import OverlapExecutor
-from repro.core.tuner import GemmShapeCache, PredictiveTuner, TuningResult
-
-
-def bucket_tokens(tokens: int, min_bucket: int = 16) -> int:
-    """Round a token count up to the next power-of-two bucket edge."""
-    if tokens < 1:
-        raise ValueError("tokens must be >= 1")
-    bucket = max(1, min_bucket)
-    while bucket < tokens:
-        bucket *= 2
-    return bucket
-
-
-@dataclass(frozen=True)
-class CachedPlan:
-    """One tuned, pre-simulated plan for a bucketed problem."""
-
-    problem: OverlapProblem  # the bucketed problem the plan was tuned for
-    tuning: TuningResult
-    overlap_latency: float  # simulated latency of the tuned execution
-    non_overlap_latency: float  # sequential GEMM-then-collective baseline
-
-    @property
-    def speedup(self) -> float:
-        return self.non_overlap_latency / self.overlap_latency
-
-
-class PlanCache:
-    """Shape-bucketed LRU cache mapping problems to tuned overlap plans.
-
-    ``capacity=0`` disables caching entirely (every lookup tunes afresh),
-    which is the "no plan cache" arm of the serving benchmark.  A
-    ``warm_start`` :class:`GemmShapeCache` short-circuits tuner invocations
-    for bucketed shapes close to an already-tuned entry.
-    """
-
-    def __init__(
-        self,
-        settings: OverlapSettings = DEFAULT_SETTINGS,
-        capacity: int = 64,
-        warm_start: GemmShapeCache | None = None,
-        min_bucket: int = 16,
-    ) -> None:
-        if capacity < 0:
-            raise ValueError("capacity must be >= 0")
-        if min_bucket < 1:
-            raise ValueError("min_bucket must be >= 1")
-        self.settings = settings
-        self.capacity = capacity
-        self.warm_start = warm_start
-        self.min_bucket = min_bucket
-        self._tuner = PredictiveTuner(settings)
-        self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.tuner_invocations = 0
-        self.warm_start_hits = 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    # -- keys --------------------------------------------------------------------
-
-    def bucketed_problem(self, problem: OverlapProblem) -> OverlapProblem:
-        """The problem with ``M`` rounded up to its bucket edge."""
-        shape = problem.shape
-        bucketed_m = bucket_tokens(shape.m, self.min_bucket)
-        if bucketed_m == shape.m:
-            return problem
-        return problem.with_shape(replace(shape, m=bucketed_m))
-
-    def key(self, problem: OverlapProblem) -> tuple:
-        """Cache key of the bucketed problem (everything latency depends on)."""
-        bucketed = self.bucketed_problem(problem)
-        return (
-            bucketed.shape.m,
-            bucketed.shape.n,
-            bucketed.shape.k,
-            bucketed.device.name,
-            bucketed.topology.name,
-            bucketed.n_gpus,
-            bucketed.collective.name,
-            bucketed.dtype_bytes,
-            bucketed.imbalance,
-        )
-
-    # -- lookup ------------------------------------------------------------------
-
-    def lookup(self, problem: OverlapProblem) -> CachedPlan:
-        """The cached plan for ``problem``'s bucket, tuning on a miss."""
-        key = self.key(problem)
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return entry
-
-        self.misses += 1
-        entry = self._build_plan(self.bucketed_problem(problem))
-        if self.capacity > 0:
-            self._entries[key] = entry
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-        return entry
-
-    def _build_plan(self, bucketed: OverlapProblem) -> CachedPlan:
-        tuning = None
-        if self.warm_start is not None:
-            tuning = self.warm_start.lookup(bucketed, self.settings)
-            if tuning is not None:
-                self.warm_start_hits += 1
-        if tuning is None:
-            self.tuner_invocations += 1
-            tuning = self._tuner.tune(bucketed)
-            if self.warm_start is not None:
-                self.warm_start.add(bucketed.shape, tuning)
-        executor = OverlapExecutor(bucketed, self.settings)
-        sequential_latency = executor.simulate_sequential().latency
-        # Ground-truth validation of the overlap-vs-fallback decision: the
-        # tuner's (or a warm-start entry's) ``use_overlap`` flag is a
-        # prediction -- and a warm-start entry may even have been tuned on a
-        # different platform -- so always simulate the candidate partition on
-        # *this* problem and take whichever execution is faster.
-        candidate_latency = executor.simulate(tuning.partition).latency
-        use_overlap = candidate_latency <= sequential_latency
-        if use_overlap != tuning.use_overlap:
-            tuning = replace(tuning, use_overlap=use_overlap)
-        overlap_latency = candidate_latency if use_overlap else sequential_latency
-        return CachedPlan(
-            problem=bucketed,
-            tuning=tuning,
-            overlap_latency=overlap_latency,
-            non_overlap_latency=NonOverlapBaseline(self.settings).latency(bucketed),
-        )
-
-    # -- stats -------------------------------------------------------------------
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
-
-    def cached_keys(self) -> list[tuple]:
-        """Keys in LRU order (least recently used first)."""
-        return list(self._entries)
-
-    def stats(self) -> dict:
-        return {
-            "capacity": self.capacity,
-            "size": len(self._entries),
-            "lookups": self.lookups,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-            "tuner_invocations": self.tuner_invocations,
-            "warm_start_hits": self.warm_start_hits,
-        }
+__all__ = ["CachedPlan", "PlanCache", "bucket_tokens"]

@@ -168,6 +168,56 @@ def serving_matrix(
     )
 
 
+def e2e_matrix(
+    workload: str,
+    tokens: tuple[int, ...],
+    collective: str,
+    tp: int | None = None,
+    name: str | None = None,
+) -> ScenarioMatrix:
+    """Overlap-target shapes of an end-to-end workload across input sizes.
+
+    Builds the registry workload (one layer) at every token count, collects
+    the distinct GEMM shapes whose following collective matches
+    ``collective``, and grids them on the workload's own platform -- so a
+    sweep covers exactly the operators ``repro e2e`` estimates.  ``tp``
+    overrides the tensor-parallel degree by rescaling the sharded dimension,
+    which is how the ``e2e-*-tp*`` presets scan TP degrees.
+    """
+    from repro.workloads.e2e import build_workload
+
+    kind = CollectiveKind.from_name(collective)
+    shapes: list[GemmShape] = []
+    imbalances: set[float] = set()
+    gpus = None
+    for t in tokens:
+        built = build_workload(workload, tokens=t, layers=1)
+        for op in built.operators:
+            if op.problem is None or op.problem.collective is not kind:
+                continue
+            shape = op.problem.shape
+            if tp is not None:
+                # Rescale the TP-sharded accumulation depth to the target degree.
+                native_tp = op.problem.n_gpus
+                shape = GemmShape(m=shape.m, n=shape.n, k=max(1, shape.k * native_tp // tp))
+            if shape not in shapes:
+                shapes.append(shape)
+            imbalances.add(round(op.problem.imbalance, 4))
+            gpus = tp if tp is not None else op.problem.n_gpus
+    if not shapes or gpus is None:
+        raise ValueError(
+            f"workload {workload!r} has no overlap target followed by {collective!r}"
+        )
+    return ScenarioMatrix.build(
+        name=name or f"e2e-{workload}",
+        workload=f"e2e-{workload}",
+        shapes=shapes,
+        platforms=[Platform(device="a800", topology="a800-nvlink", gpus=gpus)],
+        collectives=[collective],
+        imbalances=sorted(imbalances) or (1.0,),
+    )
+
+
 def smoke_matrix() -> ScenarioMatrix:
     """Small-but-wide matrix for CI and tests: 12 cheap scenarios.
 
@@ -198,6 +248,27 @@ _PRESETS: dict[str, Callable[[], ScenarioMatrix]] = {
     "serving-rate8": lambda: serving_matrix(rate_rps=8.0),
     "serving-rate32": lambda: serving_matrix(rate_rps=32.0),
     "serving-rate128": lambda: serving_matrix(rate_rps=128.0),
+    # End-to-end workload scans: the exact overlap-target shapes `repro e2e`
+    # estimates, gridded over chunk sizes (``-chunks``) or tensor-parallel
+    # degrees (``-tp*``); sweep several presets together to scan both.
+    "e2e-llama3-chunks": lambda: e2e_matrix(
+        "llama3-inference", tokens=(4096, 8192, 16384), collective="allreduce",
+        name="e2e-llama3-chunks"),
+    "e2e-llama3-tp2": lambda: e2e_matrix(
+        "llama3-inference", tokens=(16384,), collective="allreduce", tp=2,
+        name="e2e-llama3-tp2"),
+    "e2e-llama3-tp4": lambda: e2e_matrix(
+        "llama3-inference", tokens=(16384,), collective="allreduce", tp=4,
+        name="e2e-llama3-tp4"),
+    "e2e-llama3-tp8": lambda: e2e_matrix(
+        "llama3-inference", tokens=(16384,), collective="allreduce", tp=8,
+        name="e2e-llama3-tp8"),
+    "e2e-mixtral-a2a": lambda: e2e_matrix(
+        "mixtral-training", tokens=(16384, 32768), collective="alltoall",
+        name="e2e-mixtral-a2a"),
+    "e2e-step-video-chunks": lambda: e2e_matrix(
+        "step-video", tokens=(16896, 33792), collective="allreduce",
+        name="e2e-step-video-chunks"),
 }
 
 

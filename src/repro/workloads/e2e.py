@@ -33,7 +33,24 @@ __all__ = [
     "mixtral_training_workload",
     "step_video_workload",
     "paper_workloads",
+    "workload_builders",
+    "build_workload",
 ]
+
+
+def _tp_parallelism(topology: Topology | None, default_tp: int, pp: int = 1):
+    """TP degree consistent with the collective span.
+
+    With no explicit topology, the paper's degree is used and the topology is
+    built to match.  An explicit topology (e.g. a multi-node placement from
+    ``--nodes``) instead *re-derives* TP from its GPU count, so the sharded
+    GEMM shapes and the collective group size always describe one realizable
+    configuration.
+    """
+    if topology is None:
+        parallelism = ParallelismConfig(tp=default_tp, pp=pp)
+        return parallelism, a800_nvlink(default_tp)
+    return ParallelismConfig(tp=topology.n_gpus, pp=pp), topology
 
 
 def llama3_inference_workload(
@@ -44,11 +61,10 @@ def llama3_inference_workload(
     settings: OverlapSettings = DEFAULT_SETTINGS,
 ) -> EndToEndWorkload:
     """Llama3-70B prefill under TP=8 (vLLM-style chunked prefill)."""
-    parallelism = ParallelismConfig(tp=8)
-    topology = topology or a800_nvlink(parallelism.tp)
+    parallelism, topology = _tp_parallelism(topology, default_tp=8)
     ops = llm_inference_layer(LLAMA3_70B, chunk_size, parallelism, device, topology)
     return EndToEndWorkload(
-        name="Llama3-70B inference (TP=8)", operators=ops, layers=layers, settings=settings
+        name=f"Llama3-70B inference (TP={parallelism.tp})", operators=ops, layers=layers, settings=settings
     )
 
 
@@ -60,11 +76,10 @@ def llama3_training_workload(
     settings: OverlapSettings = DEFAULT_SETTINGS,
 ) -> EndToEndWorkload:
     """Llama3-70B training (8 layers) under TP=8 with sequence parallelism."""
-    parallelism = ParallelismConfig(tp=8)
-    topology = topology or a800_nvlink(parallelism.tp)
+    parallelism, topology = _tp_parallelism(topology, default_tp=8)
     ops = llm_training_layer(LLAMA3_70B, input_tokens, parallelism, device, topology)
     return EndToEndWorkload(
-        name="Llama3-70B training (TP=8)", operators=ops, layers=layers, settings=settings
+        name=f"Llama3-70B training (TP={parallelism.tp})", operators=ops, layers=layers, settings=settings
     )
 
 
@@ -81,11 +96,10 @@ def llama2_training_workload(
     does not change the per-layer "GEMM + collective" pattern, so only the
     tensor-parallel degree matters here.
     """
-    parallelism = ParallelismConfig(tp=4, pp=2)
-    topology = topology or a800_nvlink(parallelism.tp)
+    parallelism, topology = _tp_parallelism(topology, default_tp=4, pp=2)
     ops = llm_training_layer(LLAMA2_7B, input_tokens, parallelism, device, topology)
     return EndToEndWorkload(
-        name="Llama2-7B training (TP=4, PP=2)", operators=ops, layers=layers, settings=settings
+        name=f"Llama2-7B training (TP={parallelism.tp}, PP={parallelism.pp})", operators=ops, layers=layers, settings=settings
     )
 
 
@@ -96,12 +110,25 @@ def mixtral_training_workload(
     layers: int = 4,
     settings: OverlapSettings = DEFAULT_SETTINGS,
 ) -> EndToEndWorkload:
-    """Mixtral-8x7B training (4 layers) under EP=4, TP=2."""
-    parallelism = ParallelismConfig(tp=2, ep=4)
-    topology = topology or a800_nvlink(parallelism.world_size)
+    """Mixtral-8x7B training (4 layers) under EP=4, TP=2.
+
+    An explicit topology keeps EP=4 and re-derives TP from the GPU count
+    (``n_gpus / 4``), so the expert sharding and the collective span stay one
+    realizable configuration.
+    """
+    if topology is None:
+        parallelism = ParallelismConfig(tp=2, ep=4)
+        topology = a800_nvlink(parallelism.world_size)
+    else:
+        if topology.n_gpus % 4 != 0:
+            raise ValueError(
+                f"mixtral-training needs a GPU count divisible by EP=4, "
+                f"got {topology.n_gpus} ({topology.name})"
+            )
+        parallelism = ParallelismConfig(tp=max(1, topology.n_gpus // 4), ep=4)
     ops = moe_training_layer(MIXTRAL_8X7B, input_tokens, parallelism, device, topology)
     return EndToEndWorkload(
-        name="Mixtral-8x7B training (EP=4, TP=2)", operators=ops, layers=layers, settings=settings
+        name=f"Mixtral-8x7B training (EP={parallelism.ep}, TP={parallelism.tp})", operators=ops, layers=layers, settings=settings
     )
 
 
@@ -113,11 +140,10 @@ def step_video_workload(
     settings: OverlapSettings = DEFAULT_SETTINGS,
 ) -> EndToEndWorkload:
     """Step-Video-T2V DiT inference under TP=4."""
-    parallelism = ParallelismConfig(tp=4)
-    topology = topology or a800_nvlink(parallelism.tp)
+    parallelism, topology = _tp_parallelism(topology, default_tp=4)
     ops = t2v_inference_layer(STEP_VIDEO_T2V, input_tokens, parallelism, device, topology)
     return EndToEndWorkload(
-        name="Step-Video-T2V (TP=4)", operators=ops, layers=layers, settings=settings
+        name=f"Step-Video-T2V (TP={parallelism.tp})", operators=ops, layers=layers, settings=settings
     )
 
 
@@ -129,3 +155,51 @@ def paper_workloads(settings: OverlapSettings = DEFAULT_SETTINGS) -> list[EndToE
         llama3_training_workload(settings=settings),
         step_video_workload(settings=settings),
     ]
+
+
+#: Every paper workload by slug (the Table 4 four plus the Fig. 4 profiling
+#: model).  Each builder takes the input token count as its first positional
+#: argument and accepts ``device`` / ``topology`` / ``layers`` / ``settings``
+#: keywords, so the registry is what the CLI, the e2e sweep presets and the
+#: benchmarks drive.
+_WORKLOAD_BUILDERS = {
+    "llama3-inference": llama3_inference_workload,
+    "llama3-training": llama3_training_workload,
+    "llama2-training": llama2_training_workload,
+    "mixtral-training": mixtral_training_workload,
+    "step-video": step_video_workload,
+}
+
+
+def workload_builders() -> dict:
+    """Slug -> builder for all five paper workloads (registry copy)."""
+    return dict(_WORKLOAD_BUILDERS)
+
+
+def build_workload(
+    name: str,
+    tokens: int | None = None,
+    device: GPUSpec = A800,
+    topology: Topology | None = None,
+    layers: int | None = None,
+    settings: OverlapSettings = DEFAULT_SETTINGS,
+) -> EndToEndWorkload:
+    """Instantiate a registry workload, overriding only the passed knobs.
+
+    An explicit ``topology`` replaces the paper's single-node placement *and*
+    re-derives the tensor-parallel degree from its GPU count (EP stays fixed
+    for the MoE workload), keeping sharded shapes and collective span
+    consistent.
+    """
+    try:
+        builder = _WORKLOAD_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_WORKLOAD_BUILDERS)}"
+        ) from None
+    kwargs: dict = {"device": device, "topology": topology, "settings": settings}
+    if layers is not None:
+        kwargs["layers"] = layers
+    if tokens is not None:
+        return builder(tokens, **kwargs)
+    return builder(**kwargs)

@@ -1,0 +1,129 @@
+"""Property-based differential tests of the e2e estimator.
+
+For random small workloads the estimator must be a pure aggregator:
+
+* the whole-model total equals the in-order sum of *independently* simulated
+  operators when plan reuse is disabled (no hidden coupling between
+  operators), and
+* enabling plan reuse changes wall-clock cost only -- every reported latency
+  is bit-identical to the no-reuse run.
+
+Shapes are tiny (8x8 tiles on an 8-SM device) so each tuner invocation costs
+milliseconds; the process-level offline-profile memoization keeps repeated
+examples cheap.
+"""
+
+from hypothesis import HealthCheck, given, settings as hsettings
+from hypothesis import strategies as st
+
+from repro.comm.primitives import CollectiveKind
+from repro.comm.topology import InterconnectKind, Topology
+from repro.core.config import OverlapProblem, OverlapSettings
+from repro.e2e import EndToEndEstimator, make_plan_store
+from repro.gpu.device import GPUSpec
+from repro.gpu.gemm import GemmShape, GemmTileConfig
+from repro.workloads.operators import EndToEndWorkload, OperatorInstance
+
+TINY_DEVICE = GPUSpec(
+    name="tiny-gpu",
+    sm_count=8,
+    fp16_tflops=4.0,
+    hbm_bandwidth_gbps=200.0,
+    compute_efficiency=0.8,
+    kernel_launch_us=5.0,
+)
+TINY_TOPOLOGY = Topology(
+    name="tiny-pcie",
+    n_gpus=4,
+    kind=InterconnectKind.PCIE,
+    peak_bus_bandwidth_gbps=10.0,
+    base_latency_us=20.0,
+    half_saturation_mb=0.5,
+    comm_sm_count=2,
+    supports_p2p=False,
+)
+TINY_TILES = GemmTileConfig(tile_m=8, tile_n=8, tile_k=8, swizzle_size=2)
+FAST = OverlapSettings(executor_jitter=0.0, bandwidth_profile_noise=0.0)
+
+
+@st.composite
+def overlap_problems(draw) -> OverlapProblem:
+    m = draw(st.sampled_from([16, 32, 48, 64]))
+    n = draw(st.sampled_from([16, 32, 64]))
+    k = draw(st.sampled_from([32, 64]))
+    collective = draw(
+        st.sampled_from(
+            [CollectiveKind.ALL_REDUCE, CollectiveKind.REDUCE_SCATTER, CollectiveKind.ALL_TO_ALL]
+        )
+    )
+    imbalance = draw(st.sampled_from([1.0, 1.2]))
+    return OverlapProblem(
+        shape=GemmShape(m=m, n=n, k=k),
+        device=TINY_DEVICE,
+        topology=TINY_TOPOLOGY,
+        collective=collective,
+        gemm_config=TINY_TILES,
+        imbalance=imbalance,
+    )
+
+
+@st.composite
+def operators(draw, index: int = 0) -> OperatorInstance:
+    count = draw(st.integers(min_value=1, max_value=2))
+    if draw(st.booleans()):
+        return OperatorInstance(
+            name=f"op{index}", problem=draw(overlap_problems()), count=count
+        )
+    latency = draw(
+        st.floats(min_value=1e-6, max_value=1e-3, allow_nan=False, allow_infinity=False)
+    )
+    return OperatorInstance(name=f"op{index}", other_latency=latency, count=count)
+
+
+@st.composite
+def workloads(draw) -> EndToEndWorkload:
+    n_ops = draw(st.integers(min_value=1, max_value=5))
+    ops = [draw(operators(index=i)) for i in range(n_ops)]
+    layers = draw(st.integers(min_value=1, max_value=3))
+    return EndToEndWorkload(name="random", operators=ops, layers=layers, settings=FAST)
+
+
+@hsettings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workload=workloads())
+def test_total_is_sum_of_independent_operators(workload):
+    """No reuse: the total is the chained sum of per-operator simulations."""
+    estimate = EndToEndEstimator(FAST, reuse=False).estimate(workload)
+
+    expected_overlap = 0.0
+    expected_non_overlap = 0.0
+    for _ in range(workload.layers):
+        for op in workload.operators:
+            if op.problem is not None:
+                # A fresh, reuse-free store per operator: fully independent.
+                plan = make_plan_store(FAST, reuse=False).lookup(op.problem)
+                overlap, non_overlap = plan.overlap_latency, plan.non_overlap_latency
+            else:
+                overlap = non_overlap = op.other_latency
+            for _ in range(op.count):
+                expected_overlap += overlap
+                expected_non_overlap += non_overlap
+
+    assert estimate.overlap_total == expected_overlap
+    assert estimate.non_overlap_total == expected_non_overlap
+
+
+@hsettings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workload=workloads())
+def test_reuse_is_bit_identical_to_no_reuse(workload):
+    """Plan reuse is a pure optimisation: every reported number is unchanged."""
+    reused = EndToEndEstimator(FAST, reuse=True).estimate(workload)
+    unreused = EndToEndEstimator(FAST, reuse=False).estimate(workload)
+
+    assert reused.overlap_total == unreused.overlap_total
+    assert reused.non_overlap_total == unreused.non_overlap_total
+    assert reused.theoretical_total == unreused.theoretical_total
+    for a, b in zip(reused.operators, unreused.operators):
+        assert a.overlap_latency == b.overlap_latency
+        assert a.non_overlap_latency == b.non_overlap_latency
+        assert a.theoretical_latency == b.theoretical_latency
+        assert a.use_overlap == b.use_overlap

@@ -1,0 +1,140 @@
+"""Tests for the end-to-end estimator (repro.e2e.estimator / report)."""
+
+import json
+
+import pytest
+
+from repro.core.config import OverlapSettings
+from repro.e2e import EndToEndEstimator, estimate_models, make_plan_store
+from repro.plans import PlanCache
+from repro.sim.trace_export import export_chrome_trace, load_chrome_trace
+from repro.workloads.e2e import build_workload, workload_builders
+
+#: Small-but-real workload parameters shared by the suite (cheap to tune).
+TOKENS = 2048
+LAYERS = 3
+
+
+@pytest.fixture
+def settings():
+    return OverlapSettings(executor_jitter=0.0, bandwidth_profile_noise=0.0)
+
+
+@pytest.fixture
+def workload(settings):
+    return build_workload("llama2-training", tokens=TOKENS, layers=LAYERS, settings=settings)
+
+
+@pytest.fixture
+def estimator(settings):
+    return EndToEndEstimator(settings)
+
+
+class TestEstimator:
+    def test_totals_ordered_and_positive(self, estimator, workload):
+        estimate = estimator.estimate(workload)
+        assert 0 < estimate.theoretical_total <= estimate.non_overlap_total
+        assert estimate.overlap_total < estimate.non_overlap_total
+        assert estimate.speedup > 1.0
+        assert estimate.bound_speedup >= estimate.speedup
+
+    def test_repeated_layers_hit_plan_store(self, estimator, workload):
+        estimate = estimator.estimate(workload)
+        targets = sum(1 for op in workload.operators if op.is_overlap_target)
+        stats = estimate.plan_stats
+        assert stats["lookups"] == targets * LAYERS
+        # Layers 2..N are pure hits; layer 1 may miss once per distinct shape.
+        assert stats["hits"] >= targets * (LAYERS - 1)
+        assert stats["hit_rate"] > 0
+        assert stats["tuner_invocations"] == stats["misses"]
+
+    def test_reuse_is_bit_identical(self, settings, workload):
+        reused = EndToEndEstimator(settings).estimate(workload)
+        unreused = EndToEndEstimator(settings, reuse=False).estimate(workload)
+        assert reused.overlap_total == unreused.overlap_total
+        assert reused.non_overlap_total == unreused.non_overlap_total
+        assert reused.theoretical_total == unreused.theoretical_total
+        assert unreused.plan_stats["hits"] == 0
+        assert unreused.plan_stats["tuner_invocations"] == unreused.plan_stats["lookups"]
+
+    def test_cross_workload_reuse(self, estimator, workload):
+        first = estimator.estimate(workload)
+        second = estimator.estimate(workload)
+        assert second.plan_stats["misses"] == 0
+        assert second.plan_stats["hit_rate"] == 1.0
+        assert second.overlap_total == first.overlap_total
+
+    def test_layer_totals_scale(self, settings):
+        one = EndToEndEstimator(settings).estimate(
+            build_workload("llama2-training", tokens=TOKENS, layers=1, settings=settings)
+        )
+        three = EndToEndEstimator(settings).estimate(
+            build_workload("llama2-training", tokens=TOKENS, layers=3, settings=settings)
+        )
+        assert three.overlap_total == pytest.approx(3 * one.overlap_total, rel=1e-9)
+        assert three.layer_overlap_latency == pytest.approx(one.overlap_total, rel=1e-9)
+
+    def test_pattern_shares_sum_to_one(self, estimator, workload):
+        shares = estimator.estimate(workload).pattern_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares.get("GEMM+RS", 0.0) > 0
+
+    def test_settings_mismatch_rejected(self, estimator, settings):
+        other = build_workload("llama2-training", tokens=TOKENS, layers=1,
+                               settings=OverlapSettings(seed=42))
+        with pytest.raises(ValueError, match="OverlapSettings"):
+            estimator.estimate(other)
+
+    def test_bucketed_store_rejected(self, settings):
+        with pytest.raises(ValueError, match="exact-shape"):
+            EndToEndEstimator(settings, plan_store=PlanCache(settings, bucketing=True))
+
+    def test_make_plan_store_modes(self, settings):
+        assert make_plan_store(settings).capacity > 0
+        assert make_plan_store(settings, reuse=False).capacity == 0
+        assert not make_plan_store(settings).bucketing
+
+
+class TestTrace:
+    def test_trace_matches_stream(self, estimator, workload, tmp_path):
+        estimate = estimator.estimate(workload, record_trace=True)
+        trace = estimate.trace
+        assert trace is not None
+        occurrences = LAYERS * sum(op.count for op in workload.operators)
+        assert len(trace.spans) == occurrences
+        trace.validate_stream_order()
+        assert trace.makespan() == estimate.overlap_total
+        payload = load_chrome_trace(export_chrome_trace(trace, tmp_path / "e2e.json"))
+        slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == occurrences
+
+    def test_trace_off_by_default(self, estimator, workload):
+        assert estimator.estimate(workload).trace is None
+
+
+class TestReport:
+    def test_estimate_models_runs_all_five(self, settings):
+        report = estimate_models(tokens=TOKENS, layers=2, settings=settings)
+        assert len(report.estimates) == len(workload_builders()) == 5
+        assert report.plan_stats["hit_rate"] > 0
+        table = report.table()
+        for estimate in report.estimates:
+            assert estimate.name in table
+        assert "plan hits" in table
+
+    def test_report_tables_and_dict_are_stable(self, settings):
+        kwargs = dict(names=["llama2-training"], tokens=TOKENS, layers=2, settings=settings)
+        a = estimate_models(**kwargs)
+        b = estimate_models(**kwargs)
+        assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(b.to_dict(), sort_keys=True)
+        assert a.operator_table(a.estimates[0]) == b.operator_table(b.estimates[0])
+        assert a.breakdown_table() == b.breakdown_table()
+
+    def test_shared_estimator_across_models(self, settings):
+        estimator = EndToEndEstimator(settings)
+        estimate_models(names=["llama3-inference"], layers=1, settings=settings,
+                        estimator=estimator)
+        # Chunked-prefill serving shapes reappear in the second model's layers.
+        again = estimate_models(names=["llama3-inference"], layers=1, settings=settings,
+                                estimator=estimator)
+        assert again.estimates[0].plan_stats["hit_rate"] == 1.0

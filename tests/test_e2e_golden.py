@@ -1,0 +1,72 @@
+"""Golden conformance tests for ``repro e2e --smoke --json``.
+
+The committed fixtures under ``tests/golden/e2e/`` are the exact JSON reports
+of the smoke estimate of each paper workload.  Any change to the latency
+models, the tuner, the plan store or the report schema shows up as a diff
+here -- intentional changes must regenerate the fixtures:
+
+    repro e2e --smoke --workload <name> --json tests/golden/e2e/<name>.json
+
+(once per workload; the README documents the same update path).  Floats are
+compared with a tight relative tolerance so the fixtures stay portable
+across interpreter/numpy builds; everything else must match exactly.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.workloads.e2e import workload_builders
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden" / "e2e"
+WORKLOADS = sorted(workload_builders())
+
+
+def _assert_matches(expected, actual, path="$"):
+    """Recursive diff: exact for structure/ints/strings, tolerant for floats."""
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected object, got {type(actual).__name__}"
+        assert sorted(expected) == sorted(actual), (
+            f"{path}: keys differ: {sorted(expected)} vs {sorted(actual)}"
+        )
+        for key in expected:
+            _assert_matches(expected[key], actual[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list) and len(expected) == len(actual), (
+            f"{path}: list length {len(expected)} vs {len(actual)}"
+        )
+        for index, (e, a) in enumerate(zip(expected, actual)):
+            _assert_matches(e, a, f"{path}[{index}]")
+    elif isinstance(expected, float) and not isinstance(expected, bool):
+        assert actual == pytest.approx(expected, rel=1e-6, abs=1e-12), f"{path}: {actual} != {expected}"
+    else:
+        assert expected == actual, f"{path}: {actual!r} != {expected!r}"
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_smoke_report_matches_golden(name, tmp_path):
+    fixture = GOLDEN_DIR / f"{name}.json"
+    assert fixture.exists(), (
+        f"missing golden fixture {fixture}; generate it with "
+        f"`repro e2e --smoke --workload {name} --json {fixture}`"
+    )
+    out = tmp_path / f"{name}.json"
+    assert cli_main(["e2e", "--smoke", "--workload", name, "--json", str(out)]) == 0
+    _assert_matches(json.loads(fixture.read_text()), json.loads(out.read_text()))
+
+
+def test_smoke_runs_all_five_with_plan_reuse(tmp_path, capsys):
+    """The acceptance-criteria run: all five workloads, hit rate > 0."""
+    out = tmp_path / "all.json"
+    assert cli_main(["e2e", "--smoke", "--json", str(out)]) == 0
+    report = json.loads(out.read_text())
+    assert sorted(report["meta"]["workloads"]) == WORKLOADS
+    assert len(report["workloads"]) == 5
+    assert report["plan_store"]["hit_rate"] > 0
+    for payload in report["workloads"].values():
+        assert payload["plan_stats"]["hit_rate"] > 0, payload["name"]
+        assert payload["speedup"] > 1.0, payload["name"]
+    printed = capsys.readouterr().out
+    assert "Table 4" in printed and "plan store" in printed
