@@ -33,7 +33,12 @@ Sub-commands:
 * ``e2e``     -- estimate whole-model latency for the paper's end-to-end
   workloads (Table 4): every operator of every layer is priced through a
   shared plan store (repeated layers are tuned once) and compared against
-  the non-overlap execution and the perfect-overlap bound.
+  the non-overlap execution and the perfect-overlap bound;
+* ``pp``      -- schedule those workloads under pipeline parallelism:
+  split the layer stack into stages and the input into microbatches,
+  generate GPipe / 1F1B / zero-bubble schedules, replay them on the event
+  engine with plan-store-priced cells and inter-stage P2P transfers, and
+  report per-stage timelines, bubble ratios and step latencies.
 
 Multi-GPU problems default to one server (``--topology`` x ``--gpus``); pass
 ``--nodes``/``--gpus-per-node`` instead to place the collective on a
@@ -211,6 +216,49 @@ def _build_parser() -> argparse.ArgumentParser:
     e2e.add_argument("--smoke", action="store_true",
                      help="CI-sized run: paper shapes but 2 layers per model "
                           "(the committed golden fixtures and BENCH_e2e baseline)")
+
+    from repro.pp.schedule import KNOWN_SCHEDULES
+
+    pp = sub.add_parser(
+        "pp", help="schedule the paper workloads under pipeline parallelism "
+                   "(GPipe / 1F1B / zero-bubble)"
+    )
+    pp.add_argument("--workload", action="append", dest="workloads", metavar="NAME",
+                    choices=sorted(workload_builders()),
+                    help="workload to schedule (repeatable; default: all five paper "
+                         "workloads; --smoke uses llama3-training)")
+    pp.add_argument("--stages", type=int, default=None,
+                    help="pipeline stages the layer stack is split across "
+                         "(default 4; --smoke uses 2)")
+    pp.add_argument("--microbatches", type=int, default=None,
+                    help="microbatches the input tokens are split into "
+                         "(default 8; --smoke uses 4)")
+    pp.add_argument("--schedule", action="append", dest="schedules", metavar="NAME",
+                    choices=sorted(KNOWN_SCHEDULES),
+                    help="schedule to evaluate (repeatable; default: all three: "
+                         f"{', '.join(KNOWN_SCHEDULES)})")
+    pp.add_argument("--tokens", type=int, default=None,
+                    help="total input token count split across the microbatches "
+                         "(default: each model's paper input size)")
+    pp.add_argument("--layers", type=int, default=None,
+                    help="layers per model (default: the paper's per-model counts; "
+                         "--smoke uses 4)")
+    pp.add_argument("--device", default="a800", choices=sorted(known_devices()),
+                    help="simulated accelerator")
+    add_multinode_arguments(pp)
+    pp.add_argument("--no-reuse", action="store_true",
+                    help="disable the shared plan store (re-tune every operator; "
+                         "the schedule estimates are bit-identical)")
+    pp.add_argument("--seed", type=int, default=0, help="seed of the stochastic model terms")
+    pp.add_argument("--trace", type=str, default=None, metavar="PREFIX",
+                    help="export a Chrome trace (one thread per stage) per workload "
+                         "and schedule to PREFIX-<workload>-<schedule>.json")
+    pp.add_argument("--json", type=str, default=None, metavar="PATH",
+                    help="write the full report to a JSON file")
+    pp.add_argument("--smoke", action="store_true",
+                    help="CI-sized run for any flags not passed explicitly: "
+                         "llama3-training, 2 stages, 4 microbatches, 4 layers "
+                         "(the committed golden fixtures and BENCH_pp baseline)")
     return parser
 
 
@@ -554,6 +602,86 @@ def _command_e2e(args: argparse.Namespace) -> int:
     return 0
 
 
+#: CI-sized `repro pp` scenario; applied to flags the user did not pass.
+_PP_SMOKE = {"workloads": ["llama3-training"], "stages": 2, "microbatches": 4, "layers": 4}
+_PP_DEFAULTS = {"stages": 4, "microbatches": 8}
+
+
+def _command_pp(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.pp import estimate_pipelines
+    from repro.pp.schedule import KNOWN_SCHEDULES
+    from repro.workloads.e2e import workload_builders
+
+    for name, value in (_PP_SMOKE if args.smoke else _PP_DEFAULTS).items():
+        if getattr(args, name) is None:
+            setattr(args, name, value)
+    names = args.workloads or sorted(workload_builders())
+    # Canonical (bubble-decreasing) order regardless of flag order.
+    schedules = tuple(
+        name for name in KNOWN_SCHEDULES if args.schedules is None or name in args.schedules
+    )
+    topology = _topology_from_args(args) if args.nodes else None
+    settings = OverlapSettings(seed=args.seed)
+    try:
+        report = estimate_pipelines(
+            names=names,
+            stages=args.stages,
+            microbatches=args.microbatches,
+            schedules=schedules,
+            tokens=args.tokens,
+            device=device_by_name(args.device),
+            topology=topology,
+            layers=args.layers,
+            settings=settings,
+            reuse=not args.no_reuse,
+            record_trace=True,
+        )
+    except ValueError as error:
+        print(f"repro pp: error: {error}", file=sys.stderr)
+        return 2
+    report.meta["smoke"] = args.smoke
+
+    for estimate in report.estimates:
+        print(report.table(estimate))
+        if estimate.synthesized_backward:
+            print("(forward-only stream: backward cells synthesized as ~2x forward)")
+        for name in schedules:
+            schedule = estimate.schedules[name]
+            if schedule.trace is not None:
+                print()
+                print(f"{name} timeline (FlashOverlap, F=forward B=backward W=wgrad):")
+                print(schedule.trace.render_ascii(width=64))
+        print()
+    stats = report.plan_stats
+    print(f"plan store : {stats['size']} plans, {stats['lookups']} lookups, "
+          f"{stats['hit_rate'] * 100:.1f}% hits, "
+          f"{stats['tuner_invocations']} tuner invocations"
+          + (" (reuse disabled)" if args.no_reuse else ""))
+
+    if args.trace:
+        from repro.sim.trace_export import export_chrome_trace
+
+        for name, estimate in zip(names, report.estimates):
+            for schedule_name in schedules:
+                trace = estimate.schedules[schedule_name].trace
+                path = export_chrome_trace(
+                    trace, Path(f"{args.trace}-{name}-{schedule_name}.json"),
+                    process_name=f"pipeline-{name}",
+                )
+                print(f"trace      : {path}")
+    if args.json:
+        target = Path(args.json)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"report     : {target}")
+    return 0
+
+
 _COMMANDS = {
     "report": _command_report,
     "tune": _command_tune,
@@ -562,6 +690,7 @@ _COMMANDS = {
     "sweep": _command_sweep,
     "serve": _command_serve,
     "e2e": _command_e2e,
+    "pp": _command_pp,
 }
 
 

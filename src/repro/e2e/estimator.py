@@ -177,6 +177,15 @@ class EndToEndEstimator:
 
     # -- per-operator resolution ---------------------------------------------------
 
+    def resolve_operator(self, op: OperatorInstance) -> OperatorEstimate:
+        """Price one operator through the shared plan store.
+
+        The public entry point other consumers reuse (the pipeline scheduler
+        prices its forward/backward cells with it), so their per-operator
+        latencies are bit-identical to an e2e estimate of the same stream.
+        """
+        return self._resolve(op)[0]
+
     def _resolve(self, op: OperatorInstance) -> tuple[OperatorEstimate, CachedPlan | None]:
         if op.problem is None:
             estimate = OperatorEstimate(

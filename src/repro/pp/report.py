@@ -1,0 +1,146 @@
+"""Reporting for pipeline-schedule estimates (``repro pp``).
+
+One :class:`PipelineReport` aggregates the estimates of several workloads run
+through one shared plan store: per-schedule step latencies under the three
+execution methods, bubble ratios, per-stage busy/idle timelines and the plan
+store's cross-run reuse stats.  ``to_dict()`` is JSON-stable -- identical runs
+produce byte-identical reports, which is what the committed golden fixtures
+under ``tests/golden/pp/`` diff against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import format_table
+from repro.comm.topology import Topology
+from repro.core.config import DEFAULT_SETTINGS, OverlapSettings
+from repro.gpu.device import A800, GPUSpec
+from repro.pp.estimator import PipelineEstimate, PipelineEstimator
+from repro.pp.schedule import KNOWN_SCHEDULES
+from repro.workloads.pipeline import build_pipeline_workload
+
+__all__ = ["PipelineReport", "estimate_pipelines"]
+
+
+@dataclass
+class PipelineReport:
+    """Estimates of several pipeline workloads plus shared plan-store stats."""
+
+    estimates: list[PipelineEstimate]
+    plan_stats: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def by_name(self) -> dict[str, PipelineEstimate]:
+        return {estimate.name: estimate for estimate in self.estimates}
+
+    # -- rendering -------------------------------------------------------------------
+
+    def table(self, estimate: PipelineEstimate) -> str:
+        """Per-schedule step latencies and bubble ratios of one workload."""
+        rows = []
+        for name, schedule in estimate.schedules.items():
+            rows.append(
+                [
+                    name,
+                    f"{schedule.methods['non-overlap'].step_latency * 1e3:.3f}",
+                    f"{schedule.methods['overlap'].step_latency * 1e3:.3f}",
+                    f"{schedule.methods['theoretical'].step_latency * 1e3:.3f}",
+                    f"{schedule.bubble_ratio * 100:.1f}%",
+                    f"{schedule.speedup:.3f}x",
+                ]
+            )
+        return format_table(
+            [
+                "schedule",
+                "non-overlap (ms)",
+                "FlashOverlap (ms)",
+                "bound (ms)",
+                "bubble",
+                "speedup",
+            ],
+            rows,
+            title=(
+                f"{estimate.name}: {estimate.num_stages} stages "
+                f"{estimate.stage_layers}, {estimate.microbatches} microbatches"
+            ),
+        )
+
+    def stage_table(self, estimate: PipelineEstimate, schedule: str) -> str:
+        """Per-stage busy/idle timeline of one schedule (FlashOverlap arm)."""
+        result = estimate.schedules[schedule].methods["overlap"]
+        rows = []
+        for stage, (layers, busy, idle) in enumerate(
+            zip(estimate.stage_layers, result.stage_busy, result.stage_idle)
+        ):
+            rows.append(
+                [
+                    f"stage{stage}",
+                    layers,
+                    f"{busy * 1e3:.3f}",
+                    f"{idle * 1e3:.3f}",
+                    f"{idle / result.step_latency * 100:.1f}%",
+                ]
+            )
+        return format_table(
+            ["stage", "layers", "busy (ms)", "idle (ms)", "idle share"],
+            rows,
+            title=f"{schedule}: per-stage timeline (FlashOverlap)",
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "meta": self.meta,
+            "workloads": {estimate.name: estimate.to_dict() for estimate in self.estimates},
+            "plan_store": self.plan_stats,
+        }
+
+
+def estimate_pipelines(
+    names: list[str],
+    stages: int,
+    microbatches: int,
+    schedules: tuple[str, ...] = tuple(KNOWN_SCHEDULES),
+    tokens: int | None = None,
+    device: GPUSpec = A800,
+    topology: Topology | None = None,
+    layers: int | None = None,
+    settings: OverlapSettings = DEFAULT_SETTINGS,
+    estimator: PipelineEstimator | None = None,
+    reuse: bool = True,
+    record_trace: bool = False,
+) -> PipelineReport:
+    """Estimate the named registry workloads under pipeline parallelism.
+
+    All workloads run through one shared plan store (cross-workload reuse);
+    every knob applies to each workload.
+    """
+    estimator = estimator or PipelineEstimator(settings, reuse=reuse)
+    estimates = []
+    for name in names:
+        workload = build_pipeline_workload(
+            name,
+            stages=stages,
+            microbatches=microbatches,
+            tokens=tokens,
+            device=device,
+            topology=topology,
+            layers=layers,
+            settings=settings,
+        )
+        estimates.append(estimator.estimate(workload, schedules, record_trace=record_trace))
+    return PipelineReport(
+        estimates=estimates,
+        plan_stats=estimator.plan_store.stats(),
+        meta={
+            "workloads": names,
+            "stages": stages,
+            "microbatches": microbatches,
+            "schedules": list(schedules),
+            "tokens": tokens,
+            "layers": layers,
+            "device": device.name,
+            "seed": settings.seed,
+            "reuse": reuse,
+        },
+    )

@@ -269,6 +269,22 @@ _PRESETS: dict[str, Callable[[], ScenarioMatrix]] = {
     "e2e-step-video-chunks": lambda: e2e_matrix(
         "step-video", tokens=(16896, 33792), collective="allreduce",
         name="e2e-step-video-chunks"),
+    # Pipeline-parallel scans: `repro pp` splits the paper input into
+    # microbatches, so the microbatch count is the axis that changes the
+    # tuned GEMM shapes (stage count and schedule choice re-price the same
+    # shapes and share plans).  Each preset grids the overlap targets at the
+    # microbatch token counts of M in {2, 4, 8} (llama3 trains on 16384
+    # tokens, mixtral on 32768), warming the shape cache for pp runs across
+    # any stage count x microbatch count x schedule combination.
+    "pp-llama3-microbatches": lambda: e2e_matrix(
+        "llama3-training", tokens=(2048, 4096, 8192), collective="reducescatter",
+        name="pp-llama3-microbatches"),
+    "pp-mixtral-microbatches": lambda: e2e_matrix(
+        "mixtral-training", tokens=(4096, 8192, 16384), collective="alltoall",
+        name="pp-mixtral-microbatches"),
+    "pp-step-video-microbatches": lambda: e2e_matrix(
+        "step-video", tokens=(4224, 8448, 16896), collective="allreduce",
+        name="pp-step-video-microbatches"),
 }
 
 

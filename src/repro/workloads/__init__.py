@@ -38,6 +38,11 @@ from repro.workloads.e2e import (
     paper_workloads,
     step_video_workload,
 )
+from repro.workloads.pipeline import (
+    PipelineWorkload,
+    build_pipeline_workload,
+    partition_layers,
+)
 
 __all__ = [
     "ParallelismConfig",
@@ -66,4 +71,7 @@ __all__ = [
     "mixtral_training_workload",
     "step_video_workload",
     "paper_workloads",
+    "PipelineWorkload",
+    "build_pipeline_workload",
+    "partition_layers",
 ]

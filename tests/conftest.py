@@ -18,6 +18,22 @@ from repro.gpu.gemm import GemmShape, GemmTileConfig
 from repro.tensor.layout import TileLayout
 
 
+@pytest.fixture(autouse=True)
+def _numpy_rng_isolation():
+    """Seed and sandbox the *global* numpy RNG around every test.
+
+    Hypothesis-driven suites (and any code that touches ``np.random.*``
+    module-level functions) would otherwise leak RNG state across tests,
+    making golden/serving results depend on execution order as the suite
+    grows.  Every test starts from the same seeded global state and whatever
+    state existed before the test is restored afterwards.
+    """
+    state = np.random.get_state()
+    np.random.seed(0xF1A54)
+    yield
+    np.random.set_state(state)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)

@@ -1,4 +1,4 @@
-"""Property-based differential tests of the e2e estimator.
+"""Property-based differential tests of the e2e and pipeline estimators.
 
 For random small workloads the estimator must be a pure aggregator:
 
@@ -8,11 +8,19 @@ For random small workloads the estimator must be a pure aggregator:
 * enabling plan reuse changes wall-clock cost only -- every reported latency
   is bit-identical to the no-reuse run.
 
+The pipeline estimator (:mod:`repro.pp`) must degenerate to the e2e
+estimator: with one stage and one microbatch its embedded e2e totals are
+bit-identical to a plain e2e estimate of the same workload (same code path,
+same plan store), the non-recomputing schedules' step time collapses to the
+whole-model total, and plan-store reuse stays a pure optimisation for
+pipeline runs too.
+
 Shapes are tiny (8x8 tiles on an 8-SM device) so each tuner invocation costs
 milliseconds; the process-level offline-profile memoization keeps repeated
 examples cheap.
 """
 
+import pytest
 from hypothesis import HealthCheck, given, settings as hsettings
 from hypothesis import strategies as st
 
@@ -22,7 +30,9 @@ from repro.core.config import OverlapProblem, OverlapSettings
 from repro.e2e import EndToEndEstimator, make_plan_store
 from repro.gpu.device import GPUSpec
 from repro.gpu.gemm import GemmShape, GemmTileConfig
+from repro.pp import PipelineEstimator
 from repro.workloads.operators import EndToEndWorkload, OperatorInstance
+from repro.workloads.pipeline import PipelineWorkload, partition_layers
 
 TINY_DEVICE = GPUSpec(
     name="tiny-gpu",
@@ -70,14 +80,19 @@ def overlap_problems(draw) -> OverlapProblem:
 @st.composite
 def operators(draw, index: int = 0) -> OperatorInstance:
     count = draw(st.integers(min_value=1, max_value=2))
+    # Mix forward, input-gradient and weight-gradient operators (the naming
+    # convention repro.pp.pricing classifies cells by).
+    name = draw(
+        st.sampled_from([f"op{index}", f"bwd-op{index}", f"bwd-wgrad-op{index}"])
+    )
     if draw(st.booleans()):
         return OperatorInstance(
-            name=f"op{index}", problem=draw(overlap_problems()), count=count
+            name=name, problem=draw(overlap_problems()), count=count
         )
     latency = draw(
         st.floats(min_value=1e-6, max_value=1e-3, allow_nan=False, allow_infinity=False)
     )
-    return OperatorInstance(name=f"op{index}", other_latency=latency, count=count)
+    return OperatorInstance(name=name, other_latency=latency, count=count)
 
 
 @st.composite
@@ -127,3 +142,79 @@ def test_reuse_is_bit_identical_to_no_reuse(workload):
         assert a.non_overlap_latency == b.non_overlap_latency
         assert a.theoretical_latency == b.theoretical_latency
         assert a.use_overlap == b.use_overlap
+
+
+# -- pipeline estimator differentials -----------------------------------------------
+
+
+@st.composite
+def pipeline_workloads(draw) -> PipelineWorkload:
+    workload = draw(workloads())
+    stages = draw(st.integers(min_value=1, max_value=min(2, workload.layers)))
+    microbatches = draw(st.integers(min_value=1, max_value=3))
+    return PipelineWorkload(
+        name="random-pipeline",
+        microbatch=workload,
+        stage_layers=partition_layers(workload.layers, stages),
+        microbatches=microbatches,
+        activation_bytes=draw(st.sampled_from([0.0, 64 * 16 * 2.0])),
+        topology=TINY_TOPOLOGY,
+    )
+
+
+@hsettings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workload=workloads())
+def test_pipeline_s1m1_degenerates_to_e2e(workload):
+    """One stage, one microbatch: the pipeline run IS the e2e estimate."""
+    pipeline = PipelineWorkload(
+        name="degenerate",
+        microbatch=workload,
+        stage_layers=(workload.layers,),
+        microbatches=1,
+    )
+    estimate = PipelineEstimator(FAST).estimate(pipeline)
+    reference = EndToEndEstimator(FAST).estimate(workload)
+
+    # The embedded e2e totals are bit-identical (same code path, same plan
+    # store latencies) -- including the per-operator table and the hit/miss
+    # stats of a fresh store.
+    assert estimate.microbatch_estimate.to_dict() == reference.to_dict()
+
+    # Without pipelining there are no bubbles: the non-recomputing schedules
+    # collapse to the straight-through model total (the float sums group
+    # per-cell rather than per-occurrence, hence approx, not ==).  A
+    # forward-only stream gets its backward synthesized as ~2x forward, so
+    # its step is three model totals.
+    factor = 3.0 if estimate.synthesized_backward else 1.0
+    for name in ("1f1b", "zero-bubble"):
+        schedule = estimate.schedules[name]
+        expected = factor * reference.overlap_total
+        assert schedule.step_latency == pytest.approx(expected, rel=1e-9)
+        assert schedule.bubble_ratio == pytest.approx(0.0, abs=1e-9)
+        non_overlap = schedule.methods["non-overlap"].step_latency
+        assert non_overlap == pytest.approx(factor * reference.non_overlap_total, rel=1e-9)
+        bound = schedule.methods["theoretical"].step_latency
+        assert bound == pytest.approx(factor * reference.theoretical_total, rel=1e-9)
+    # GPipe still pays its activation recomputation even on one stage
+    # (equality only when the stream has no forward work to recompute).
+    assert (
+        estimate.schedules["gpipe"].step_latency
+        >= estimate.schedules["1f1b"].step_latency
+    )
+
+
+@hsettings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(pipeline=pipeline_workloads())
+def test_pipeline_reuse_is_bit_identical(pipeline):
+    """Plan-store reuse never changes a pipeline schedule estimate."""
+    reused = PipelineEstimator(FAST, reuse=True).estimate(pipeline)
+    unreused = PipelineEstimator(FAST, reuse=False).estimate(pipeline)
+
+    assert reused.microbatch_estimate.overlap_total == unreused.microbatch_estimate.overlap_total
+    for name, schedule in reused.schedules.items():
+        other = unreused.schedules[name]
+        for method, result in schedule.methods.items():
+            assert result.step_latency == other.methods[method].step_latency
+            assert result.bubble_ratio == other.methods[method].bubble_ratio
+            assert result.stage_busy == other.methods[method].stage_busy
+            assert result.useful_work == other.methods[method].useful_work
