@@ -1,0 +1,211 @@
+"""Perf harness for the auto-parallelism planner (``repro plan``).
+
+A standalone CLI (like ``bench_pp_bubble.py``) that runs the joint
+TP x stages x microbatches x schedule x overlap search over one 8-GPU A800
+server and emits a machine-readable ``BENCH_plan.json``:
+
+* **search efficiency**: candidate shells, priced batches, pruned batches
+  and the plan-store hit rate of the sweep (the search must serve more than
+  half of its lookups from cache);
+* **frontier**: the latency/memory Pareto points and their mutual
+  non-domination;
+* **winner gains**: the overlap-over-non-overlap speedup at the winning
+  configuration, the winner's gain over the best GPipe/non-overlap
+  configuration (the classic baseline) and over the worst priced
+  configuration -- deterministic ratios, portable across machines;
+* **soundness checks**: pruning never changes the frontier, repeated
+  searches are bit-identical, and the winner replays bit-identically
+  through the ``repro pp`` / ``repro e2e`` paths.
+
+``--check`` compares every ``*speedup*`` ratio against a committed baseline
+(``benchmarks/BENCH_plan_baseline.json``) and exits non-zero on a >2x
+regression; ratios rather than absolute times are compared so the gate is
+portable across CI machines.
+
+Usage::
+
+    python benchmarks/bench_plan_search.py            # full space (8 paper layers)
+    python benchmarks/bench_plan_search.py --smoke    # CI-sized space (4 layers)
+    python benchmarks/bench_plan_search.py --smoke --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from repro.cluster import ClusterSpec
+from repro.plan import dominates, search_plan, verify_replay
+
+DEFAULT_OUT = Path(__file__).resolve().parent / "output" / "BENCH_plan.json"
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_plan_baseline.json"
+
+WORKLOAD = "llama3-training"
+
+#: Fail --check when a speedup ratio drops below baseline / REGRESSION_FACTOR.
+REGRESSION_FACTOR = 2.0
+
+
+def _space(smoke: bool) -> dict:
+    """The searched space: the CI-sized smoke grid or the paper-sized one."""
+    if smoke:
+        return dict(layers=4, tp_degrees=(2, 4, 8), microbatch_counts=(2, 4, 8))
+    return dict(layers=8, tp_degrees=None, microbatch_counts=None)
+
+
+def bench_search(smoke: bool) -> tuple[dict, dict]:
+    """Run the search (plus determinism / soundness replicas); build the report."""
+    space = _space(smoke)
+    cluster = ClusterSpec(gpus=8)
+
+    report = search_plan(workload=WORKLOAD, cluster=cluster, **space)
+    replica = search_plan(workload=WORKLOAD, cluster=cluster, **space)
+    unpruned = search_plan(workload=WORKLOAD, cluster=cluster, **space, prune=False)
+
+    winner = report.winner
+    points = report.points
+    frontier = report.frontier
+    step = winner.predicted["step_latency"]
+    gpipe_baseline = min(
+        p.step_latency for p in points
+        if p.schedule == "gpipe" and p.method == "non-overlap"
+    )
+    worst = max(p.step_latency for p in points)
+    stats = report.plan_stats
+
+    metrics = {
+        "search": {
+            "shells": report.space["shells"],
+            "batches": report.space["batches"],
+            "evaluated": report.space["evaluated"],
+            "pruned": len(report.space["pruned"]),
+            "points": len(points),
+            "store_hit_rate": stats["search_hit_rate"],
+            "tuner_invocations": stats["tuner_invocations"],
+        },
+        "frontier": {
+            "size": len(frontier),
+            "points": [point.to_dict() for point in frontier],
+        },
+        "winner": {
+            "config": winner.describe(),
+            "step_ms": step * 1e3,
+            "peak_activation_mib": winner.predicted["peak_activation_bytes"] / 2**20,
+            "bubble_ratio": winner.predicted["bubble_ratio"],
+            "overlap_speedup": winner.predicted["speedup"],
+            "over_gpipe_non_overlap_speedup": gpipe_baseline / step,
+            "over_worst_config_speedup": worst / step,
+        },
+    }
+    checks = {
+        "deterministic": report.to_json() == replica.to_json(),
+        "frontier_nondominated": all(
+            not dominates(a, b) for a in frontier for b in frontier
+        ),
+        "frontier_large_enough": len(frontier) >= (3 if smoke else 2),
+        "prune_invariant_frontier": (
+            {p.config_key for p in frontier} == {p.config_key for p in unpruned.frontier}
+        ),
+        "store_hit_rate_above_half": stats["search_hit_rate"] > 0.5,
+        "winner_replays_bit_identical": verify_replay(winner)["matches"],
+    }
+    return metrics, checks
+
+
+def _walk_speedups(metrics: dict, prefix: str = "") -> dict[str, float]:
+    """Flatten every ``*speedup*`` ratio in the metrics tree."""
+    found: dict[str, float] = {}
+    for key, value in metrics.items():
+        if isinstance(value, dict):
+            found.update(_walk_speedups(value, f"{prefix}{key}."))
+        elif isinstance(value, (int, float)) and "speedup" in key:
+            found[f"{prefix}{key}"] = float(value)
+    return found
+
+
+def check_regressions(report: dict, baseline_path: Path) -> list[str]:
+    """Speedup ratios that regressed >2x vs the committed baseline."""
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    current = _walk_speedups(report["metrics"])
+    reference = _walk_speedups(baseline.get("metrics", {}))
+    failures = []
+    for name, ref_value in reference.items():
+        cur_value = current.get(name)
+        if cur_value is None:
+            failures.append(f"{name}: missing from current report (baseline {ref_value:.2f}x)")
+        elif cur_value < ref_value / REGRESSION_FACTOR:
+            failures.append(
+                f"{name}: {cur_value:.2f}x is a >{REGRESSION_FACTOR:g}x regression "
+                f"vs baseline {ref_value:.2f}x"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized space (4 layers)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="report JSON path")
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE, help="committed baseline JSON"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit non-zero on a >{REGRESSION_FACTOR:g}x speedup regression vs the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    metrics, checks = bench_search(args.smoke)
+    report = {
+        "meta": {
+            "smoke": args.smoke,
+            "workload": WORKLOAD,
+            "cluster": ClusterSpec(gpus=8).to_dict(),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "metrics": metrics,
+        "checks": checks,
+    }
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    print(f"wrote {args.out}")
+    search = metrics["search"]
+    print(f"  search: {search['evaluated']}/{search['batches']} batches priced "
+          f"({search['pruned']} pruned), {search['points']} points, "
+          f"{search['store_hit_rate'] * 100:.1f}% store hits")
+    print(f"  winner: {metrics['winner']['config']}")
+    for name, value in sorted(_walk_speedups(metrics).items()):
+        print(f"  {name:50s} {value:8.3f}x")
+    for name, ok in checks.items():
+        print(f"  {name:50s} {'ok' if ok else 'FAILED'}")
+
+    failed = [name for name, ok in checks.items() if not ok]
+    if failed:
+        print(f"plan checks failed: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    if args.check:
+        if not args.baseline.exists():
+            print(f"baseline {args.baseline} missing; cannot --check", file=sys.stderr)
+            return 1
+        failures = check_regressions(report, args.baseline)
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION {failure}", file=sys.stderr)
+            return 1
+        print(f"no >{REGRESSION_FACTOR:g}x regressions vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,9 +6,37 @@ keep that formatting in one place so every bench produces consistent output.
 
 from __future__ import annotations
 
+import json
 from collections.abc import Sequence
+from pathlib import Path
 
 import numpy as np
+
+
+class ReportMixin:
+    """The small protocol every ``repro.api`` report object shares.
+
+    A report class provides ``to_dict()`` (JSON-stable: identical runs
+    produce identical payloads) and ``summary_table()`` (the human-readable
+    headline table); the mixin derives the serialisation helpers from
+    ``to_dict()`` so the CLI's ``--json`` output and the facade's
+    ``to_json()`` are the same bytes by construction.
+    """
+
+    def to_dict(self) -> dict:  # pragma: no cover - interface declaration
+        raise NotImplementedError
+
+    def summary_table(self) -> str:  # pragma: no cover - interface declaration
+        raise NotImplementedError
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def save_json(self, path: str | Path) -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json(), encoding="utf-8")
+        return target
 
 
 def _format_cell(value, precision: int = 3) -> str:

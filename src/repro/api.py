@@ -1,0 +1,422 @@
+"""The public Python facade of the reproduction.
+
+One function per CLI subcommand, all consuming the same
+:class:`~repro.cluster.ClusterSpec` and all returning report objects that
+share the :class:`~repro.analysis.reporting.ReportMixin` protocol
+(``to_dict()`` / ``to_json()`` / ``summary_table()`` / ``save_json()``)::
+
+    import repro.api as api
+
+    report = api.estimate(["llama3-training"], smoke=True)
+    print(report.summary_table())
+
+    result = api.plan(cluster=api.ClusterSpec(gpus=8), smoke=True)
+    result.winner.save("plan.json")
+
+The CLI subcommands are thin wrappers over these functions -- ``--json``
+output and ``to_dict()`` are the same payload by construction, which the
+parity tests under ``tests/test_api.py`` assert per subcommand.
+
+``smoke=True`` everywhere means "CI-sized defaults for any argument left at
+``None``" and mirrors the corresponding ``--smoke`` flag bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.cluster import ClusterSpec
+from repro.core.config import OverlapSettings
+from repro.e2e.report import EndToEndReport, estimate_models
+from repro.pp.report import PipelineReport, estimate_pipelines
+from repro.pp.schedule import KNOWN_SCHEDULES
+from repro.serve.report import ServeReport
+from repro.sweep.report import DEFAULT_GROUP_KEYS, SweepReport
+
+__all__ = [
+    "ClusterSpec",
+    "EndToEndReport",
+    "PipelineReport",
+    "ServeReport",
+    "SweepReport",
+    "estimate",
+    "plan",
+    "pp",
+    "serve",
+    "sweep",
+]
+
+#: Default serving scenario; applied to arguments left at ``None``.  The
+#: ``smoke`` variant is the shared ``repro.serve.simulator.SMOKE_SCENARIO``.
+SERVE_DEFAULTS = {
+    "rate": 32.0,
+    "requests": 64,
+    "distribution": "chat",
+    "workload": "llama3-70b",
+    "layers": 4,
+    "max_batch_tokens": 4096,
+    "max_batch_size": 32,
+}
+
+#: CI-sized ``pp`` scenario and the full-run defaults; applied to arguments
+#: left at ``None``.
+PP_SMOKE = {"workloads": ["llama3-training"], "stages": 2, "microbatches": 4, "layers": 4}
+PP_DEFAULTS = {"stages": 4, "microbatches": 8}
+
+#: CI-sized planner search space (the ``repro plan --smoke`` scenario).
+PLAN_SMOKE = {
+    "layers": 4,
+    "tp_degrees": (2, 4, 8),
+    "microbatch_counts": (2, 4, 8),
+}
+
+
+def estimate(
+    workloads: Sequence[str] | None = None,
+    *,
+    tokens: int | None = None,
+    layers: int | None = None,
+    cluster: ClusterSpec | None = None,
+    seed: int = 0,
+    reuse: bool = True,
+    record_trace: bool = False,
+    smoke: bool = False,
+) -> EndToEndReport:
+    """Whole-model latency estimates (the ``repro e2e`` subcommand).
+
+    ``workloads=None`` estimates all five paper workloads; ``smoke=True``
+    shrinks every model to 2 layers unless ``layers`` is given.
+    """
+    cluster = cluster or ClusterSpec()
+    if smoke and layers is None:
+        layers = 2
+    report = estimate_models(
+        names=list(workloads) if workloads else None,
+        tokens=tokens,
+        device=cluster.device_spec,
+        topology=cluster.resolve(),
+        layers=layers,
+        settings=OverlapSettings(seed=seed),
+        reuse=reuse,
+        record_trace=record_trace,
+    )
+    report.meta["smoke"] = smoke
+    return report
+
+
+def pp(
+    workloads: Sequence[str] | None = None,
+    *,
+    stages: int | None = None,
+    microbatches: int | None = None,
+    schedules: Sequence[str] | None = None,
+    tokens: int | None = None,
+    layers: int | None = None,
+    partition: Sequence[int] | None = None,
+    cluster: ClusterSpec | None = None,
+    seed: int = 0,
+    reuse: bool = True,
+    record_trace: bool = True,
+    smoke: bool = False,
+) -> PipelineReport:
+    """Pipeline-parallel schedule estimates (the ``repro pp`` subcommand).
+
+    Arguments left at ``None`` take the full-run defaults (4 stages,
+    8 microbatches, all five workloads, all three schedules) or, with
+    ``smoke=True``, the CI-sized scenario in :data:`PP_SMOKE`.
+    """
+    from repro.workloads.e2e import workload_builders
+
+    cluster = cluster or ClusterSpec()
+    defaults = PP_SMOKE if smoke else PP_DEFAULTS
+    if workloads is None:
+        workloads = defaults.get("workloads")
+    if stages is None:
+        stages = defaults["stages"]
+    if microbatches is None:
+        microbatches = defaults["microbatches"]
+    if layers is None:
+        layers = defaults.get("layers")
+    names = list(workloads) if workloads else sorted(workload_builders())
+    # Canonical (bubble-decreasing) order regardless of argument order.
+    ordered = tuple(
+        name for name in KNOWN_SCHEDULES if schedules is None or name in schedules
+    )
+    report = estimate_pipelines(
+        names=names,
+        stages=stages,
+        microbatches=microbatches,
+        schedules=ordered,
+        tokens=tokens,
+        device=cluster.device_spec,
+        topology=cluster.resolve(),
+        layers=layers,
+        settings=OverlapSettings(seed=seed),
+        reuse=reuse,
+        record_trace=record_trace,
+        partition=tuple(int(count) for count in partition) if partition is not None else None,
+    )
+    report.meta["smoke"] = smoke
+    return report
+
+
+def serve(
+    *,
+    rate: float | None = None,
+    requests: int | None = None,
+    duration: float | None = None,
+    distribution: str | None = None,
+    trace: str | None = None,
+    workload: str | None = None,
+    layers: int | None = None,
+    max_batch_tokens: int | None = None,
+    max_batch_size: int | None = None,
+    plan_cache: int = 64,
+    warm_cache: str | None = None,
+    baseline: bool = False,
+    slo_ttft: float = 1.0,
+    slo_tpot: float = 0.1,
+    cluster: ClusterSpec | None = None,
+    seed: int = 0,
+    smoke: bool = False,
+) -> ServeReport:
+    """One online-serving simulation (the ``repro serve`` subcommand).
+
+    Arguments left at ``None`` take :data:`SERVE_DEFAULTS` (or the CI-sized
+    smoke scenario with ``smoke=True``, which also implies ``baseline``).
+    Raises :class:`ValueError` when the traffic generator produces no
+    requests.
+    """
+    from repro.comm.topology import known_topologies
+    from repro.core.tuner import GemmShapeCache
+    from repro.serve import (
+        SLO,
+        PlanCache,
+        PoissonArrivals,
+        ServeConfig,
+        ServingSimulator,
+        TraceArrivals,
+        distribution_by_name,
+    )
+    from repro.serve.simulator import SERVE_MODELS, SMOKE_SCENARIO
+
+    scenario = {
+        "rate": rate,
+        "requests": requests,
+        "distribution": distribution,
+        "workload": workload,
+        "layers": layers,
+        "max_batch_tokens": max_batch_tokens,
+        "max_batch_size": max_batch_size,
+    }
+    defaults = dict(SMOKE_SCENARIO if smoke else SERVE_DEFAULTS)
+    if duration is not None:
+        # An explicit duration bounds the traffic by itself; do not cap it
+        # with the default request count too.
+        defaults.pop("requests")
+    for name, value in defaults.items():
+        if scenario[name] is None:
+            scenario[name] = value
+    if smoke:
+        baseline = True
+
+    if trace:
+        arrivals = TraceArrivals.from_jsonl(trace)
+        traffic = f"trace {trace}"
+    else:
+        arrivals = PoissonArrivals(
+            rate_rps=scenario["rate"],
+            distribution=distribution_by_name(scenario["distribution"]),
+            seed=seed,
+            num_requests=scenario["requests"],
+            duration_s=duration,
+        )
+        traffic = (
+            f"poisson @ {scenario['rate']:g} req/s, "
+            f"{scenario['distribution']} lengths, seed {seed}"
+        )
+    generated = arrivals.generate()
+    if not generated:
+        raise ValueError("the traffic generator produced no requests")
+
+    cluster = cluster or ClusterSpec(gpus=4)
+    # Serving needs a concrete interconnect: a paper-default spec lands on
+    # the historical `repro serve` default (a800-nvlink x 4).
+    topology = cluster.resolve()
+    if topology is None:
+        topology = known_topologies()["a800-nvlink"].with_n_gpus(4)
+
+    settings = OverlapSettings(seed=seed)
+    config = ServeConfig(
+        model=SERVE_MODELS[scenario["workload"]],
+        device=cluster.device_spec,
+        topology=topology,
+        layers=scenario["layers"],
+        max_batch_tokens=scenario["max_batch_tokens"],
+        max_batch_size=scenario["max_batch_size"],
+        settings=settings,
+    )
+    warm = GemmShapeCache.load(warm_cache, missing_ok=True) if warm_cache else None
+    cache = PlanCache(settings, capacity=plan_cache, warm_start=warm,
+                      min_bucket=config.min_bucket)
+    slo = SLO(ttft_s=slo_ttft, tpot_s=slo_tpot)
+
+    overlap = ServingSimulator(config, plan_cache=cache, mode="overlap").run(generated)
+    baseline_result = None
+    if baseline:
+        baseline_result = ServingSimulator(config, mode="non-overlap").run(generated)
+    if warm_cache and warm is not None:
+        warm.save(warm_cache)
+
+    return ServeReport(
+        config=config,
+        slo=slo,
+        overlap=overlap,
+        baseline=baseline_result,
+        traffic=traffic,
+        num_requests=len(generated),
+        meta={
+            "workload": scenario["workload"],
+            "cluster": cluster.to_dict(),
+            "layers": scenario["layers"],
+            "max_batch_tokens": scenario["max_batch_tokens"],
+            "max_batch_size": scenario["max_batch_size"],
+            "plan_cache": plan_cache,
+            "traffic": traffic,
+            "requests": len(generated),
+            "slo": {"ttft_s": slo.ttft_s, "tpot_s": slo.tpot_s},
+            "baseline": bool(baseline),
+            "seed": seed,
+            "smoke": smoke,
+        },
+    )
+
+
+def sweep(
+    presets: Sequence[str] | None = None,
+    *,
+    config: str | None = None,
+    out: str | Path = "sweep_results.jsonl",
+    workers: int = 1,
+    resume: bool = False,
+    cache: str | None = None,
+    baselines: bool = False,
+    group_by: Sequence[str] = DEFAULT_GROUP_KEYS,
+) -> SweepReport:
+    """Fan a scenario matrix out into a JSONL store (the ``repro sweep`` subcommand).
+
+    Exactly one of ``presets`` (named matrices) or ``config`` (path of a
+    ScenarioMatrix JSON) must be given.  Raises :class:`KeyError` /
+    :class:`ValueError` / :class:`OSError` on bad presets, group keys or
+    config files -- the CLI maps those onto exit code 2.
+    """
+    from repro.core.tuner import GemmShapeCache
+    from repro.sweep import (
+        ResultStore,
+        Scenario,
+        ScenarioMatrix,
+        SweepRunner,
+        matrix_from_preset,
+    )
+
+    if bool(presets) == bool(config):
+        raise ValueError("exactly one of presets= or config= must be given")
+    if config:
+        payload = json.loads(Path(config).read_text(encoding="utf-8"))
+        matrices = [ScenarioMatrix.from_dict(payload)]
+    else:
+        matrices = [matrix_from_preset(name) for name in presets]
+
+    group_keys = tuple(group_by)
+    scenario_fields = set(Scenario.__dataclass_fields__)
+    unknown_keys = [key for key in group_keys if key not in scenario_fields]
+    if unknown_keys:
+        raise ValueError(
+            f"unknown group-by fields {unknown_keys}; known: {sorted(scenario_fields)}"
+        )
+
+    warm = GemmShapeCache.load(cache, missing_ok=True) if cache else None
+    store = ResultStore(out)
+    runner = SweepRunner(
+        store,
+        workers=workers,
+        resume=resume,
+        cache=warm,
+        cache_path=cache,
+        baselines=baselines,
+    )
+    summaries = [(matrix.name, runner.run(matrix)) for matrix in matrices]
+    return SweepReport(
+        summaries=summaries,
+        group_keys=group_keys,
+        meta={
+            "matrices": [name for name, _ in summaries],
+            "out": str(store.path),
+            "completed_jobs": len(store.completed_ids()),
+            "workers": workers,
+            "resume": resume,
+            "baselines": baselines,
+            "cache": cache,
+            "cache_entries": len(runner.cache) if cache else None,
+            "group_by": list(group_keys),
+        },
+    )
+
+
+def plan(
+    workload: str = "llama3-training",
+    *,
+    cluster: ClusterSpec | None = None,
+    tokens: int | None = None,
+    layers: int | None = None,
+    tp_degrees: Sequence[int] | None = None,
+    microbatch_counts: Sequence[int] | None = None,
+    schedules: Sequence[str] | None = None,
+    methods: Sequence[str] | None = None,
+    layer_weights: Sequence[float] | None = None,
+    max_configs: int | None = None,
+    prune: bool = True,
+    seed: int = 0,
+    smoke: bool = False,
+):
+    """Joint auto-parallelism search (the ``repro plan`` subcommand).
+
+    Searches TP degree x pipeline stages x microbatch count x schedule x
+    overlap method over ``cluster`` (default: one 8-GPU A800 server) and
+    returns a :class:`~repro.plan.report.PlanSearchReport` whose ``winner``
+    replays bit-identically through ``repro pp`` / ``repro e2e``.
+    ``smoke=True`` fills arguments left at ``None`` with the CI-sized space
+    in :data:`PLAN_SMOKE`.
+    """
+    from repro.plan import PLAN_METHODS, search_plan
+
+    cluster = cluster or ClusterSpec(gpus=8)
+    if smoke:
+        if layers is None:
+            layers = PLAN_SMOKE["layers"]
+        if tp_degrees is None:
+            tp_degrees = PLAN_SMOKE["tp_degrees"]
+        if microbatch_counts is None:
+            microbatch_counts = PLAN_SMOKE["microbatch_counts"]
+    report = search_plan(
+        workload=workload,
+        cluster=cluster,
+        tokens=tokens,
+        layers=layers,
+        tp_degrees=tuple(tp_degrees) if tp_degrees is not None else None,
+        microbatch_counts=(
+            tuple(microbatch_counts) if microbatch_counts is not None else None
+        ),
+        schedules=tuple(
+            name for name in KNOWN_SCHEDULES if schedules is None or name in schedules
+        ),
+        methods=tuple(methods) if methods is not None else PLAN_METHODS,
+        settings=OverlapSettings(seed=seed),
+        layer_weights=tuple(layer_weights) if layer_weights is not None else None,
+        max_configs=max_configs,
+        prune=prune,
+    )
+    report.meta["smoke"] = smoke
+    return report

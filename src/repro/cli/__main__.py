@@ -1,0 +1,7 @@
+"""``python -m repro.cli`` -- the same entry point as the console scripts."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

@@ -1,0 +1,33 @@
+"""``repro report`` -- tune, simulate and print the speedup report of one problem."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli.common import add_problem_arguments, problem_from_args, settings_from_args
+
+NAME = "report"
+
+
+def add_parser(sub) -> None:
+    parser = sub.add_parser(NAME, help="tune, simulate and print the speedup report")
+    add_problem_arguments(parser)
+
+
+def run(args: argparse.Namespace) -> int:
+    from repro.core.overlap import FlashOverlapOperator
+
+    problem = problem_from_args(args)
+    operator = FlashOverlapOperator(problem, settings_from_args(args))
+    plan = operator.plan()
+    report = operator.report()
+    print(f"problem           : {problem.describe()}")
+    print(f"waves             : {plan.partition.num_waves}")
+    print(f"tuned partition   : {plan.partition}")
+    print(f"mode              : {'overlap' if plan.use_overlap else 'sequential fallback'}")
+    print(f"non-overlap       : {report.non_overlap_latency * 1e3:.3f} ms")
+    print(f"FlashOverlap      : {report.overlap_latency * 1e3:.3f} ms")
+    print(f"theoretical bound : {report.theoretical_latency * 1e3:.3f} ms")
+    print(f"speedup           : {report.speedup:.3f}x "
+          f"({report.ratio_of_theoretical * 100:.1f}% of theoretical)")
+    return 0

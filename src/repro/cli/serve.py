@@ -1,0 +1,96 @@
+"""``repro serve`` -- simulate online serving with continuous batching."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli.common import (
+    add_cluster_arguments,
+    add_json_argument,
+    add_seed_argument,
+    add_smoke_argument,
+    cluster_from_args,
+    command_error,
+    write_json_report,
+)
+
+NAME = "serve"
+
+
+def add_parser(sub) -> None:
+    from repro.serve.arrivals import length_distributions
+    from repro.serve.simulator import SERVE_MODELS
+
+    parser = sub.add_parser(
+        NAME, help="simulate online serving: traffic, continuous batching, plan cache"
+    )
+    # Flags covered by the --smoke preset default to None so that --smoke can
+    # fill exactly the values the user did not pass (see api.SERVE_DEFAULTS).
+    parser.add_argument("--rate", type=float, default=None,
+                        help="Poisson arrival rate in requests/s (default 32)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="number of requests to generate "
+                             "(default 64, unless --duration bounds the traffic)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="bound the arrival window (seconds) instead of, "
+                             "or in addition to, --requests")
+    parser.add_argument("--distribution", default=None,
+                        choices=sorted(length_distributions()),
+                        help="prompt/output length distribution of the traffic (default chat)")
+    parser.add_argument("--trace", type=str, default=None,
+                        help="JSONL request trace replacing the Poisson generator "
+                             "(fields: arrival_time, prompt_tokens, output_tokens)")
+    parser.add_argument("--workload", default=None, choices=sorted(SERVE_MODELS),
+                        help="served model (default llama3-70b)")
+    add_cluster_arguments(parser, device="a800", topology="a800-nvlink", gpus=4)
+    parser.add_argument("--layers", type=int, default=None,
+                        help="decoder layers priced per iteration (default 4)")
+    parser.add_argument("--max-batch-tokens", type=int, default=None,
+                        help="token budget of one continuous-batching iteration (default 4096)")
+    parser.add_argument("--max-batch-size", type=int, default=None,
+                        help="maximum concurrently running requests (default 32)")
+    parser.add_argument("--plan-cache", type=int, default=64, metavar="CAPACITY",
+                        help="plan-cache capacity in bucketed shapes (0 disables caching)")
+    parser.add_argument("--warm-cache", type=str, default=None,
+                        help="GemmShapeCache JSON warm start, updated after the run")
+    parser.add_argument("--baseline", action="store_true",
+                        help="also serve the same traffic without overlap and compare")
+    parser.add_argument("--slo-ttft", type=float, default=1.0, help="TTFT SLO in seconds")
+    parser.add_argument("--slo-tpot", type=float, default=0.1, help="TPOT SLO in seconds")
+    add_seed_argument(parser, "traffic and model seed")
+    add_json_argument(parser, "write the full metrics report to a JSON file")
+    add_smoke_argument(parser,
+                       "CI-sized defaults for any flags not passed explicitly "
+                       "(short summarization burst on the small model); implies --baseline")
+
+
+def run(args: argparse.Namespace) -> int:
+    import repro.api as api
+
+    try:
+        report = api.serve(
+            rate=args.rate,
+            requests=args.requests,
+            duration=args.duration,
+            distribution=args.distribution,
+            trace=args.trace,
+            workload=args.workload,
+            layers=args.layers,
+            max_batch_tokens=args.max_batch_tokens,
+            max_batch_size=args.max_batch_size,
+            plan_cache=args.plan_cache,
+            warm_cache=args.warm_cache,
+            baseline=args.baseline,
+            slo_ttft=args.slo_ttft,
+            slo_tpot=args.slo_tpot,
+            cluster=cluster_from_args(args),
+            seed=args.seed,
+            smoke=args.smoke,
+        )
+    except ValueError as error:
+        return command_error(NAME, error)
+
+    print(report.summary_table())
+    if args.json:
+        write_json_report(report, args.json)
+    return 0

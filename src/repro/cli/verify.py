@@ -1,0 +1,45 @@
+"""``repro verify`` -- run the NumPy correctness pipeline on a small instance."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli.common import add_multinode_arguments, add_seed_argument, topology_from_args
+from repro.comm.topology import known_topologies
+
+NAME = "verify"
+
+
+def add_parser(sub) -> None:
+    parser = sub.add_parser(NAME, help="run the NumPy correctness pipeline (small instance)")
+    parser.add_argument("--collective", default="allreduce",
+                        choices=["allreduce", "reducescatter", "alltoall"])
+    parser.add_argument("--topology", default="tiny-pcie", choices=sorted(known_topologies()),
+                        help="simulated server / interconnect (default: the tiny test box)")
+    parser.add_argument("--gpus", type=int, default=4)
+    add_seed_argument(parser)
+    add_multinode_arguments(parser)
+
+
+def run(args: argparse.Namespace) -> int:
+    from repro.comm.primitives import CollectiveKind
+    from repro.core.config import OverlapProblem, OverlapSettings
+    from repro.core.overlap import FlashOverlapOperator
+    from repro.gpu.device import GPUSpec
+    from repro.gpu.gemm import GemmShape, GemmTileConfig
+
+    device = GPUSpec(name="tiny-gpu", sm_count=8, fp16_tflops=4.0, hbm_bandwidth_gbps=200.0)
+    topology = topology_from_args(args)
+    problem = OverlapProblem(
+        shape=GemmShape(m=64, n=48, k=32),
+        device=device,
+        topology=topology,
+        collective=CollectiveKind.from_name(args.collective),
+        gemm_config=GemmTileConfig(tile_m=8, tile_n=8, tile_k=8, swizzle_size=2),
+    )
+    operator = FlashOverlapOperator(problem, OverlapSettings(seed=args.seed))
+    result = operator.run_numeric()
+    status = "all close" if result.allclose() else "MISMATCH"
+    print(f"{problem.collective.short_name} on {topology.n_gpus} simulated GPUs "
+          f"({topology.name}): {status} (max |error| = {result.max_abs_error():.3e})")
+    return 0 if result.allclose() else 1

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.breakdown import estimate_breakdown_table
-from repro.analysis.reporting import format_table
+from repro.analysis.reporting import ReportMixin, format_table
 from repro.comm.topology import Topology
 from repro.core.config import DEFAULT_SETTINGS, OverlapSettings
 from repro.e2e.estimator import EndToEndEstimator, WorkloadEstimate
@@ -23,7 +23,7 @@ from repro.workloads.e2e import build_workload, workload_builders
 
 
 @dataclass
-class EndToEndReport:
+class EndToEndReport(ReportMixin):
     """Estimates of several workloads plus the shared plan-store stats."""
 
     estimates: list[WorkloadEstimate]
@@ -90,6 +90,10 @@ class EndToEndReport:
             rows,
             title=f"{estimate.name}: per-operator breakdown (one layer)",
         )
+
+    def summary_table(self) -> str:
+        """The headline rendering of the ``repro.api`` report protocol."""
+        return self.table()
 
     def to_dict(self) -> dict:
         return {

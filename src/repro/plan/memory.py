@@ -1,0 +1,58 @@
+"""Peak activation memory of one scheduled pipeline configuration.
+
+The second objective axis of the planner.  The schedule walk
+(:func:`repro.pp.schedule.stage_peak_inflight`) already counted how many
+microbatches' activations each stage holds at its high-water mark; this
+module converts that count into bytes:
+
+* under GPipe the backward *recomputes* the stage's forward from the
+  stage-boundary activation, so only that boundary tensor
+  (``activation_bytes``: one microbatch's ``tokens x hidden`` slab) is held
+  per in-flight microbatch;
+* 1F1B and zero-bubble keep the full forward state, modelled as one
+  hidden-sized tensor per layer of the stage -- a deliberate simplification
+  (real stacks also store attention/MLP intermediates, a constant factor
+  that cancels when *comparing* configurations).
+
+The configuration's reported memory is the busiest stage's bytes: stages
+are separate GPUs, so the per-device peak -- not the sum -- is what must
+fit in HBM.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["stage_activation_bytes", "peak_activation_bytes"]
+
+
+def stage_activation_bytes(
+    stage_layers: Sequence[int],
+    activation_bytes: float,
+    stage_peak_microbatches: Sequence[int],
+    recompute: bool,
+) -> tuple[float, ...]:
+    """Per-stage activation high-water mark in bytes."""
+    if len(stage_layers) != len(stage_peak_microbatches):
+        raise ValueError(
+            f"stage partition {tuple(stage_layers)} and peak counts "
+            f"{tuple(stage_peak_microbatches)} disagree on the stage count"
+        )
+    return tuple(
+        peak * (activation_bytes if recompute else activation_bytes * layers)
+        for layers, peak in zip(stage_layers, stage_peak_microbatches)
+    )
+
+
+def peak_activation_bytes(
+    stage_layers: Sequence[int],
+    activation_bytes: float,
+    stage_peak_microbatches: Sequence[int],
+    recompute: bool,
+) -> float:
+    """The busiest stage's activation bytes (the per-GPU peak)."""
+    return max(
+        stage_activation_bytes(
+            stage_layers, activation_bytes, stage_peak_microbatches, recompute
+        )
+    )

@@ -1,0 +1,106 @@
+"""The planner's report: frontier, winner, search accounting, store stats.
+
+``to_dict()`` is JSON-stable and deterministic (no wall-clock anywhere), so
+``repro plan --json`` output can be diffed, replayed and asserted against
+the :func:`repro.api.plan` facade byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.reporting import ReportMixin, format_table
+from repro.plan.frontier import PlanPoint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (planner imports us)
+    from repro.plan.planner import ParallelismPlan
+
+__all__ = ["PlanSearchReport"]
+
+
+@dataclass
+class PlanSearchReport(ReportMixin):
+    """One search's priced points, Pareto frontier and winning plan."""
+
+    meta: dict = field(default_factory=dict)
+    points: list[PlanPoint] = field(default_factory=list)
+    frontier: list[PlanPoint] = field(default_factory=list)
+    winner: "ParallelismPlan | None" = None
+    space: dict = field(default_factory=dict)
+    plan_stats: dict = field(default_factory=dict)
+
+    # -- rendering -------------------------------------------------------------------
+
+    def _point_rows(self, points: list[PlanPoint]) -> list[list]:
+        rows = []
+        for point in points:
+            rows.append(
+                [
+                    point.tp,
+                    point.stages,
+                    point.microbatches,
+                    str(point.partition),
+                    point.schedule,
+                    point.method,
+                    f"{point.step_latency * 1e3:.3f}",
+                    f"{point.peak_activation_bytes / 2**20:.1f}",
+                    f"{point.bubble_ratio * 100:.1f}%",
+                    f"{point.speedup:.3f}x",
+                ]
+            )
+        return rows
+
+    _POINT_HEADERS = (
+        "tp", "pp", "mb", "partition", "schedule", "method",
+        "step (ms)", "peak act (MiB)", "bubble", "speedup",
+    )
+
+    def frontier_table(self) -> str:
+        """The Pareto frontier, fastest first."""
+        return format_table(
+            list(self._POINT_HEADERS),
+            self._point_rows(self.frontier),
+            title=(
+                f"Pareto frontier: {len(self.frontier)} non-dominated of "
+                f"{len(self.points)} priced configurations"
+            ),
+        )
+
+    def summary_table(self) -> str:
+        lines = [self.frontier_table()]
+        if self.winner is not None:
+            predicted = self.winner.predicted
+            lines.append("")
+            lines.append(f"winner : {self.winner.describe()}")
+            lines.append(
+                f"         step {predicted['step_latency'] * 1e3:.3f} ms, "
+                f"peak activations {predicted['peak_activation_bytes'] / 2**20:.1f} MiB, "
+                f"bubble {predicted['bubble_ratio'] * 100:.1f}%, "
+                f"speedup {predicted['speedup']:.3f}x"
+            )
+        space = self.space
+        if space:
+            lines.append(
+                f"search : {space['evaluated']}/{space['batches']} batches priced "
+                f"({len(space['pruned'])} pruned/budgeted, "
+                f"{len(space['skipped'])} infeasible), {space['points']} points"
+            )
+        stats = self.plan_stats
+        if stats:
+            lines.append(
+                f"store  : {stats['size']} plans, {stats['search_lookups']} lookups, "
+                f"{stats['search_hit_rate'] * 100:.1f}% hits, "
+                f"{stats['tuner_invocations']} tuner invocations"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "meta": self.meta,
+            "space": self.space,
+            "points": [point.to_dict() for point in self.points],
+            "frontier": [point.to_dict() for point in self.frontier],
+            "winner": self.winner.to_dict() if self.winner is not None else None,
+            "plan_store": self.plan_stats,
+        }

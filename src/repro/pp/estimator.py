@@ -26,7 +26,12 @@ from dataclasses import dataclass, field
 from repro.core.config import DEFAULT_SETTINGS, OverlapSettings
 from repro.e2e.estimator import EndToEndEstimator, WorkloadEstimate
 from repro.pp.pricing import METHODS, PipelineCosts, price_pipeline
-from repro.pp.schedule import KNOWN_SCHEDULES, Schedule, generate_schedule
+from repro.pp.schedule import (
+    KNOWN_SCHEDULES,
+    Schedule,
+    generate_schedule,
+    stage_peak_inflight,
+)
 from repro.sim.replay import ReplayResult
 from repro.sim.trace import Trace
 from repro.workloads.pipeline import PipelineWorkload
@@ -46,6 +51,10 @@ class ScheduleMethodResult:
     stage_busy: tuple[float, ...]
     #: Per-stage idle time within the step (step - busy).
     stage_idle: tuple[float, ...]
+    #: Per-stage peak count of in-flight microbatch activations
+    #: (:func:`~repro.pp.schedule.stage_peak_inflight`) -- what the planner
+    #: sizes peak activation memory from.
+    stage_peak_microbatches: tuple[int, ...] = ()
 
     def to_dict(self) -> dict:
         return {
@@ -55,6 +64,7 @@ class ScheduleMethodResult:
             "useful_work": self.useful_work,
             "stage_busy": list(self.stage_busy),
             "stage_idle": list(self.stage_idle),
+            "stage_peak_microbatches": list(self.stage_peak_microbatches),
         }
 
 
@@ -251,4 +261,5 @@ def _score(schedule: Schedule, result: ReplayResult, method: str) -> ScheduleMet
         useful_work=useful,
         stage_busy=busy,
         stage_idle=tuple(step - b for b in busy),
+        stage_peak_microbatches=stage_peak_inflight(schedule),
     )

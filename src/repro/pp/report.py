@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.reporting import format_table
+from repro.analysis.reporting import ReportMixin, format_table
 from repro.comm.topology import Topology
 from repro.core.config import DEFAULT_SETTINGS, OverlapSettings
 from repro.gpu.device import A800, GPUSpec
@@ -24,7 +24,7 @@ __all__ = ["PipelineReport", "estimate_pipelines"]
 
 
 @dataclass
-class PipelineReport:
+class PipelineReport(ReportMixin):
     """Estimates of several pipeline workloads plus shared plan-store stats."""
 
     estimates: list[PipelineEstimate]
@@ -88,6 +88,10 @@ class PipelineReport:
             title=f"{schedule}: per-stage timeline (FlashOverlap)",
         )
 
+    def summary_table(self) -> str:
+        """The headline rendering of the ``repro.api`` report protocol."""
+        return "\n\n".join(self.table(estimate) for estimate in self.estimates)
+
     def to_dict(self) -> dict:
         return {
             "meta": self.meta,
@@ -109,11 +113,14 @@ def estimate_pipelines(
     estimator: PipelineEstimator | None = None,
     reuse: bool = True,
     record_trace: bool = False,
+    partition: tuple[int, ...] | None = None,
 ) -> PipelineReport:
     """Estimate the named registry workloads under pipeline parallelism.
 
     All workloads run through one shared plan store (cross-workload reuse);
-    every knob applies to each workload.
+    every knob applies to each workload.  ``partition`` overrides the
+    balanced stage split with an explicit per-stage layer count (what a
+    replayed planner JSON carries).
     """
     estimator = estimator or PipelineEstimator(settings, reuse=reuse)
     estimates = []
@@ -127,20 +134,26 @@ def estimate_pipelines(
             topology=topology,
             layers=layers,
             settings=settings,
+            partition=partition,
         )
         estimates.append(estimator.estimate(workload, schedules, record_trace=record_trace))
+    meta = {
+        "workloads": names,
+        "stages": stages,
+        "microbatches": microbatches,
+        "schedules": list(schedules),
+        "tokens": tokens,
+        "layers": layers,
+        "device": device.name,
+        "seed": settings.seed,
+        "reuse": reuse,
+    }
+    # Only an explicit partition appears in the meta -- the default balanced
+    # split keeps the report (and the committed golden fixtures) unchanged.
+    if partition is not None:
+        meta["partition"] = list(partition)
     return PipelineReport(
         estimates=estimates,
         plan_stats=estimator.plan_store.stats(),
-        meta={
-            "workloads": names,
-            "stages": stages,
-            "microbatches": microbatches,
-            "schedules": list(schedules),
-            "tokens": tokens,
-            "layers": layers,
-            "device": device.name,
-            "seed": settings.seed,
-            "reuse": reuse,
-        },
+        meta=meta,
     )

@@ -48,6 +48,7 @@ __all__ = [
     "zero_bubble_schedule",
     "generate_schedule",
     "critical_path",
+    "stage_peak_inflight",
     "KNOWN_SCHEDULES",
 ]
 
@@ -381,6 +382,33 @@ def generate_schedule(
             f"unknown schedule {name!r}; known: {sorted(KNOWN_SCHEDULES)}"
         ) from None
     return generator(stages, microbatches, fwd_delay=fwd_delay, bwd_delay=bwd_delay)
+
+
+def stage_peak_inflight(schedule: Schedule) -> tuple[int, ...]:
+    """Peak number of microbatches whose activations a stage holds at once.
+
+    Walks each stage's serial order: a forward cell admits one microbatch's
+    activations (``+1``); they are freed once the weight gradient no longer
+    needs them -- at the ``W`` cell when the backward is split (zero-bubble
+    defers wgrad, so activations live *longer* than under 1F1B), at the
+    bundled ``B`` cell otherwise.  The stage order is a valid serialisation
+    of the replayed execution, so the walk's running peak is exactly the
+    schedule's activation high-water mark in microbatch units; the planner
+    turns it into bytes (GPipe's recomputation stores only the stage-boundary
+    activation, the other schedules keep every layer's).
+    """
+    peaks = []
+    for order in schedule.stage_orders:
+        live = peak = 0
+        release = "W" if schedule.split_backward else "B"
+        for cell in order:
+            if cell.kind == "F":
+                live += 1
+                peak = max(peak, live)
+            elif cell.kind == release:
+                live -= 1
+        peaks.append(peak)
+    return tuple(peaks)
 
 
 def critical_path(schedule: Schedule) -> float:

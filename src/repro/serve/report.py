@@ -1,0 +1,80 @@
+"""Report object of one serving simulation (``repro serve`` / ``api.serve``).
+
+Wraps the overlap run (and the optional non-overlap baseline run of the same
+traffic) behind the shared report protocol: ``to_dict()`` is the exact JSON
+payload ``repro serve --json`` writes, and ``summary_table()`` is the CLI's
+human-readable output -- both produced from one object so the CLI and the
+Python facade can never drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import ReportMixin
+from repro.serve.metrics import SLO
+from repro.serve.simulator import ServeConfig, ServingResult
+
+__all__ = ["ServeReport"]
+
+
+@dataclass
+class ServeReport(ReportMixin):
+    """One serving simulation: overlap arm, optional baseline, SLO, traffic."""
+
+    config: ServeConfig
+    slo: SLO
+    overlap: ServingResult
+    baseline: ServingResult | None = None
+    traffic: str = ""
+    num_requests: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def summary_table(self) -> str:
+        metrics = self.overlap.metrics(self.slo)
+        cache_stats = self.overlap.plan_cache_stats or {}
+        lines = [
+            f"config     : {self.config.describe()}",
+            f"traffic    : {self.num_requests} requests, {self.traffic}",
+            f"iterations : {self.overlap.iterations} "
+            f"({self.overlap.total_batched_tokens} batched tokens, "
+            f"{cache_stats.get('tuner_invocations', 0)} tuner invocations)",
+        ]
+        for name, stats in (("TTFT", metrics.ttft), ("TPOT", metrics.tpot),
+                            ("e2e", metrics.e2e_latency)):
+            lines.append(
+                f"{name:<11}: p50 {stats.p50 * 1e3:8.2f} ms   "
+                f"p95 {stats.p95 * 1e3:8.2f} ms   p99 {stats.p99 * 1e3:8.2f} ms"
+            )
+        lines.append(
+            f"throughput : {metrics.output_tokens_per_s:.0f} output tokens/s, "
+            f"{metrics.requests_per_s:.1f} requests/s"
+        )
+        lines.append(
+            f"goodput    : {metrics.goodput_requests_per_s:.1f} requests/s within SLO "
+            f"(TTFT <= {self.slo.ttft_s:g}s, TPOT <= {self.slo.tpot_s:g}s; "
+            f"{metrics.slo_attainment * 100:.1f}% attainment)"
+        )
+        if cache_stats:
+            lines.append(
+                f"plan cache : {cache_stats['size']}/{cache_stats['capacity']} plans, "
+                f"{cache_stats['lookups']} lookups, "
+                f"{cache_stats['hit_rate'] * 100:.1f}% hits, "
+                f"{cache_stats['evictions']} evictions"
+            )
+        if self.baseline is not None:
+            base = self.baseline.metrics(self.slo)
+            lines.append(
+                f"baseline   : e2e mean {base.e2e_latency.mean * 1e3:.2f} ms "
+                f"vs {metrics.e2e_latency.mean * 1e3:.2f} ms overlapped "
+                f"({base.e2e_latency.mean / metrics.e2e_latency.mean:.3f}x), "
+                f"TTFT p99 {base.ttft.p99 / metrics.ttft.p99:.3f}x, "
+                f"makespan {self.baseline.makespan_s / self.overlap.makespan_s:.3f}x"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        payload = {"meta": self.meta, "overlap": self.overlap.to_dict(self.slo)}
+        if self.baseline is not None:
+            payload["non-overlap"] = self.baseline.to_dict(self.slo)
+        return payload

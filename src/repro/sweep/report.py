@@ -1,0 +1,67 @@
+"""Report object of one sweep run (``repro sweep`` / ``api.sweep``).
+
+Aggregates the per-matrix :class:`~repro.sweep.runner.SweepSummary` objects
+of one invocation behind the shared report protocol.  The per-job records
+are deterministic (no wall-clock fields), so ``to_dict()`` is stable across
+identical runs -- what the CLI/API parity tests diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import ReportMixin
+from repro.sweep.aggregate import group_summary_table, scenario_table
+from repro.sweep.runner import SweepSummary
+
+__all__ = ["SweepReport"]
+
+#: Default scenario fields of the per-group rollup.
+DEFAULT_GROUP_KEYS = ("workload", "collective", "topology")
+
+
+@dataclass
+class SweepReport(ReportMixin):
+    """Summaries + records of every matrix one sweep invocation executed."""
+
+    summaries: list[tuple[str, SweepSummary]] = field(default_factory=list)
+    group_keys: tuple[str, ...] = DEFAULT_GROUP_KEYS
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def records(self) -> list[dict]:
+        return [record for _, summary in self.summaries for record in summary.records]
+
+    @property
+    def failed(self) -> int:
+        return sum(summary.failed for _, summary in self.summaries)
+
+    def summary_table(self) -> str:
+        lines = [f"{name}: {summary.describe()}" for name, summary in self.summaries]
+        records = self.records
+        if records:
+            lines.append("")
+            lines.append(scenario_table(records, title="per-scenario results"))
+            lines.append("")
+            lines.append(
+                group_summary_table(records, keys=self.group_keys, title="per-group summary")
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "meta": self.meta,
+            "matrices": [
+                {
+                    "name": name,
+                    "total_scenarios": summary.total_scenarios,
+                    "executed": summary.executed,
+                    "skipped": summary.skipped,
+                    "failed": summary.failed,
+                    "tuned": summary.tuned,
+                    "cache_hits": summary.cache_hits,
+                }
+                for name, summary in self.summaries
+            ],
+            "records": self.records,
+        }

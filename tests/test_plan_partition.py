@@ -1,0 +1,99 @@
+"""Property-based invariants of the cost-weighted stage partitioner.
+
+:func:`partition_layers_weighted` is the planner's generalisation of the
+balanced contiguous split: it minimises the bottleneck stage cost (the
+quantity pipeline step latency is linear in), then minimises the sum of
+squared stage costs among bottleneck-optimal splits so the remainder lands
+deterministically.  The suite checks:
+
+* shape: ``stages`` contiguous non-empty spans covering every layer;
+* optimality: the bottleneck equals the brute-force minimum over all splits
+  (small instances, exhaustive);
+* reduction: uniform weights reproduce :func:`partition_layers` exactly --
+  the planner's "weighted" candidate collapses onto the balanced one;
+* determinism and validation errors.
+"""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings as hsettings
+from hypothesis import strategies as st
+
+from repro.workloads.pipeline import partition_layers, partition_layers_weighted
+
+WEIGHTS = st.floats(min_value=1e-3, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+def _brute_force_bottleneck(weights: list[float], stages: int) -> float:
+    """Minimal bottleneck over every contiguous split (exponential; small n)."""
+    layers = len(weights)
+    best = float("inf")
+    for breaks in combinations(range(1, layers), stages - 1):
+        bounds = (0, *breaks, layers)
+        spans = [sum(weights[a:b]) for a, b in zip(bounds, bounds[1:])]
+        best = min(best, max(spans))
+    return best
+
+
+def _spans(weights: list[float], partition: tuple[int, ...]) -> list[float]:
+    spans, start = [], 0
+    for count in partition:
+        spans.append(sum(weights[start:start + count]))
+        start += count
+    return spans
+
+
+@given(st.lists(WEIGHTS, min_size=1, max_size=12), st.integers(min_value=1, max_value=6))
+@hsettings(max_examples=200, deadline=None)
+def test_partition_shape(weights, stages):
+    if stages > len(weights):
+        with pytest.raises(ValueError):
+            partition_layers_weighted(weights, stages)
+        return
+    partition = partition_layers_weighted(weights, stages)
+    assert len(partition) == stages
+    assert sum(partition) == len(weights)
+    assert all(count >= 1 for count in partition)
+
+
+@given(st.lists(WEIGHTS, min_size=2, max_size=9), st.integers(min_value=2, max_value=4))
+@hsettings(max_examples=150, deadline=None)
+def test_partition_bottleneck_is_optimal(weights, stages):
+    if stages > len(weights):
+        return
+    partition = partition_layers_weighted(weights, stages)
+    bottleneck = max(_spans(weights, partition))
+    assert bottleneck == pytest.approx(_brute_force_bottleneck(weights, stages), rel=1e-9)
+
+
+@given(st.integers(min_value=1, max_value=24), st.integers(min_value=1, max_value=8))
+@hsettings(max_examples=200, deadline=None)
+def test_uniform_weights_reduce_to_balanced_split(layers, stages):
+    if stages > layers:
+        return
+    assert partition_layers_weighted([1.0] * layers, stages) == partition_layers(layers, stages)
+
+
+def test_heavy_ends_get_own_stages():
+    # Two expensive boundary layers dominate; the cheap middle shares a stage.
+    assert partition_layers_weighted([5, 1, 1, 1, 1, 5], 3) == (1, 4, 1)
+
+
+def test_single_stage_takes_everything():
+    assert partition_layers_weighted([3.0, 1.0, 2.0], 1) == (3,)
+
+
+def test_deterministic():
+    weights = [0.4, 1.7, 0.1, 0.9, 2.2, 0.3, 1.1]
+    first = partition_layers_weighted(weights, 3)
+    assert all(partition_layers_weighted(weights, 3) == first for _ in range(5))
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        partition_layers_weighted([1.0, 2.0], 0)
+    with pytest.raises(ValueError):
+        partition_layers_weighted([1.0], 2)
+    with pytest.raises(ValueError):
+        partition_layers_weighted([1.0, -0.5], 2)
