@@ -42,6 +42,7 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
+from repro.atomic import atomic_write_text
 from repro.cluster import ClusterSpec
 from repro.plan import dominates, search_plan, verify_replay
 
@@ -177,7 +178,7 @@ def main(argv: list[str] | None = None) -> int:
     }
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    atomic_write_text(args.out, json.dumps(report, indent=2) + "\n")
 
     print(f"wrote {args.out}")
     search = metrics["search"]

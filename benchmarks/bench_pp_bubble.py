@@ -40,6 +40,7 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
+from repro.atomic import atomic_write_text
 from repro.core.config import OverlapSettings
 from repro.e2e import EndToEndEstimator
 from repro.pp import PipelineEstimator
@@ -206,7 +207,7 @@ def main(argv: list[str] | None = None) -> int:
     }
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    atomic_write_text(args.out, json.dumps(report, indent=2) + "\n")
 
     print(f"wrote {args.out}")
     for point, payload in grid.items():

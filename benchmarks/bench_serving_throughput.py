@@ -40,6 +40,7 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
+from repro.atomic import atomic_write_text
 from repro.comm.topology import a800_nvlink
 from repro.core.config import OverlapSettings
 from repro.serve import (
@@ -229,7 +230,7 @@ def main(argv: list[str] | None = None) -> int:
     }
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    atomic_write_text(args.out, json.dumps(report, indent=2) + "\n")
 
     print(f"wrote {args.out}")
     for name, value in _walk_speedups(report["metrics"]).items():

@@ -33,10 +33,9 @@ class ReportMixin:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
 
     def save_json(self, path: str | Path) -> Path:
-        target = Path(path)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(self.to_json(), encoding="utf-8")
-        return target
+        from repro.atomic import atomic_write_text
+
+        return atomic_write_text(path, self.to_json())
 
 
 def _format_cell(value, precision: int = 3) -> str:

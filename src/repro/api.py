@@ -178,6 +178,13 @@ def serve(
     baseline: bool = False,
     slo_ttft: float = 1.0,
     slo_tpot: float = 0.1,
+    faults: object | None = None,
+    fault_preset: str | None = None,
+    retry_policy: object | None = None,
+    deadline: float | None = None,
+    admission_limit: int | None = None,
+    warm_spares: int = 0,
+    failover_delay: float = 0.05,
     cluster: ClusterSpec | None = None,
     seed: int = 0,
     smoke: bool = False,
@@ -188,9 +195,25 @@ def serve(
     smoke scenario with ``smoke=True``, which also implies ``baseline``).
     Raises :class:`ValueError` when the traffic generator produces no
     requests.
+
+    ``faults`` (a :class:`~repro.faults.FaultPlan` or a path to its JSON) or
+    ``fault_preset`` (a named preset scaled to the traffic horizon) injects a
+    deterministic fault timeline; ``retry_policy`` (a
+    :class:`~repro.faults.RetryPolicy` or a CLI-style spec string),
+    ``deadline``, ``admission_limit`` and ``warm_spares`` configure the
+    resilience policy.  Faulted runs additionally simulate the fault-free
+    reference arm so the report can state goodput-under-failure.
     """
     from repro.comm.topology import known_topologies
     from repro.core.tuner import GemmShapeCache
+    from repro.faults import (
+        FaultInjector,
+        FaultPlan,
+        ResiliencePolicy,
+        RetryPolicy,
+        build_fault_preset,
+        parse_retry_policy,
+    )
     from repro.serve import (
         SLO,
         PlanCache,
@@ -241,6 +264,40 @@ def serve(
     if not generated:
         raise ValueError("the traffic generator produced no requests")
 
+    if faults is not None and fault_preset is not None:
+        raise ValueError("pass faults= or fault_preset=, not both")
+    fault_plan = None
+    if faults is not None:
+        fault_plan = faults if isinstance(faults, FaultPlan) else FaultPlan.load(faults)
+    elif fault_preset is not None:
+        horizon = max(request.arrival_time for request in generated)
+        fault_plan = build_fault_preset(
+            fault_preset, horizon=horizon if horizon > 0 else 1.0, seed=seed
+        )
+
+    if isinstance(retry_policy, str):
+        retry = parse_retry_policy(retry_policy, seed=seed)
+    elif retry_policy is None:
+        retry = RetryPolicy(seed=seed)
+    else:
+        retry = retry_policy
+    policy = None
+    if (
+        fault_plan is not None
+        or retry_policy is not None
+        or deadline is not None
+        or admission_limit is not None
+        or warm_spares
+    ):
+        policy = ResiliencePolicy(
+            retry=retry,
+            deadline_s=deadline,
+            admission_limit=admission_limit,
+            warm_spares=warm_spares,
+            failover_delay_s=failover_delay,
+        )
+    injector = FaultInjector(fault_plan, policy) if fault_plan is not None else None
+
     cluster = cluster or ClusterSpec(gpus=4)
     # Serving needs a concrete interconnect: a paper-default spec lands on
     # the historical `repro serve` default (a800-nvlink x 4).
@@ -263,10 +320,24 @@ def serve(
                       min_bucket=config.min_bucket)
     slo = SLO(ttft_s=slo_ttft, tpot_s=slo_tpot)
 
-    overlap = ServingSimulator(config, plan_cache=cache, mode="overlap").run(generated)
+    overlap = ServingSimulator(
+        config, plan_cache=cache, mode="overlap", faults=injector, resilience=policy
+    ).run(generated)
     baseline_result = None
     if baseline:
-        baseline_result = ServingSimulator(config, mode="non-overlap").run(generated)
+        # The baseline arm rides the same fault timeline so the overlap
+        # comparison stays like-for-like.
+        baseline_result = ServingSimulator(
+            config, mode="non-overlap", faults=injector, resilience=policy
+        ).run(generated)
+    fault_free_result = None
+    if injector is not None:
+        fault_free_result = ServingSimulator(
+            config,
+            plan_cache=PlanCache(settings, capacity=plan_cache, warm_start=warm,
+                                 min_bucket=config.min_bucket),
+            mode="overlap",
+        ).run(generated)
     if warm_cache and warm is not None:
         warm.save(warm_cache)
 
@@ -277,6 +348,7 @@ def serve(
         baseline=baseline_result,
         traffic=traffic,
         num_requests=len(generated),
+        fault_free=fault_free_result,
         meta={
             "workload": scenario["workload"],
             "cluster": cluster.to_dict(),
@@ -288,6 +360,8 @@ def serve(
             "requests": len(generated),
             "slo": {"ttft_s": slo.ttft_s, "tpot_s": slo.tpot_s},
             "baseline": bool(baseline),
+            "faults": fault_plan.to_dict() if fault_plan is not None else None,
+            "resilience": policy.to_dict() if policy is not None else None,
             "seed": seed,
             "smoke": smoke,
         },
@@ -378,6 +452,7 @@ def plan(
     layer_weights: Sequence[float] | None = None,
     max_configs: int | None = None,
     prune: bool = True,
+    deadline: float | None = None,
     seed: int = 0,
     smoke: bool = False,
 ):
@@ -388,7 +463,9 @@ def plan(
     returns a :class:`~repro.plan.report.PlanSearchReport` whose ``winner``
     replays bit-identically through ``repro pp`` / ``repro e2e``.
     ``smoke=True`` fills arguments left at ``None`` with the CI-sized space
-    in :data:`PLAN_SMOKE`.
+    in :data:`PLAN_SMOKE`.  ``deadline`` caps the wall-clock seconds the
+    pricing loop may spend; a truncated search returns the best-so-far
+    frontier with ``space["truncated"]`` set.
     """
     from repro.plan import PLAN_METHODS, search_plan
 
@@ -417,6 +494,7 @@ def plan(
         layer_weights=tuple(layer_weights) if layer_weights is not None else None,
         max_configs=max_configs,
         prune=prune,
+        deadline_s=deadline,
     )
     report.meta["smoke"] = smoke
     return report

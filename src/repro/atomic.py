@@ -1,0 +1,46 @@
+"""Crash-safe file writes: write a temp file, then ``os.replace`` it.
+
+Every JSON artifact the toolkit persists -- tuned shape caches, emitted
+parallelism plans, ``--json`` reports, benchmark ``BENCH_*.json`` files --
+goes through :func:`atomic_write_text`.  A run interrupted mid-write (the
+exact failure mode the sweep store already quarantines for its JSONL lines)
+can therefore never leave a truncated or half-written file behind: either the
+old content survives untouched, or the complete new content is in place.
+
+``os.replace`` is atomic on POSIX and Windows when source and destination
+live on the same filesystem, which the same-directory temp file guarantees.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> Path:
+    """Atomically write ``text`` to ``path``, creating parent directories.
+
+    The content is written to a temporary file in the destination directory
+    and renamed over the target in one step.  On any failure the temporary
+    file is removed and the previous content of ``path`` (if any) is left
+    intact.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, temp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+        os.replace(temp_name, target)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return target

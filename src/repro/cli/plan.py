@@ -57,6 +57,10 @@ def add_parser(sub) -> None:
                              "(cheapest lower bound first)")
     parser.add_argument("--no-prune", action="store_true",
                         help="disable dominated-config pruning (price every candidate)")
+    parser.add_argument("--deadline", type=float, default=None, metavar="S",
+                        help="wall-clock budget in seconds: stop pricing when it "
+                             "elapses and return the best-so-far frontier "
+                             "(marked truncated)")
     add_seed_argument(parser)
     parser.add_argument("--emit-plan", type=str, default=None, metavar="PATH",
                         help="write the winning configuration as reusable plan JSON "
@@ -88,6 +92,7 @@ def run(args: argparse.Namespace) -> int:
             methods=args.methods,
             max_configs=args.max_configs,
             prune=not args.no_prune,
+            deadline=args.deadline,
             seed=args.seed,
             smoke=args.smoke,
         )

@@ -18,6 +18,7 @@ NAME = "serve"
 
 
 def add_parser(sub) -> None:
+    from repro.faults import fault_presets
     from repro.serve.arrivals import length_distributions
     from repro.serve.simulator import SERVE_MODELS
 
@@ -57,6 +58,23 @@ def add_parser(sub) -> None:
                         help="also serve the same traffic without overlap and compare")
     parser.add_argument("--slo-ttft", type=float, default=1.0, help="TTFT SLO in seconds")
     parser.add_argument("--slo-tpot", type=float, default=0.1, help="TPOT SLO in seconds")
+    parser.add_argument("--faults", type=str, default=None, metavar="PLAN_JSON",
+                        help="inject a fault plan (FaultPlan JSON; see examples/)")
+    parser.add_argument("--fault-preset", default=None, choices=sorted(fault_presets()),
+                        help="inject a named fault preset scaled to the traffic horizon")
+    parser.add_argument("--retry-policy", type=str, default=None, metavar="SPEC",
+                        help="retry policy for dropped requests, e.g. "
+                             "'retries=3,backoff=0.05,multiplier=2,jitter=0.25'")
+    parser.add_argument("--deadline", type=float, default=None, metavar="S",
+                        help="per-request deadline in seconds (timed-out requests "
+                             "are abandoned and counted against goodput)")
+    parser.add_argument("--admission-limit", type=int, default=None, metavar="N",
+                        help="shed new arrivals once N requests are waiting or running")
+    parser.add_argument("--warm-spares", type=int, default=0, metavar="N",
+                        help="replica crashes covered by warm spares (failover "
+                             "instead of full recovery)")
+    parser.add_argument("--failover-delay", type=float, default=0.05, metavar="S",
+                        help="outage length of a warm-spare failover (default 0.05s)")
     add_seed_argument(parser, "traffic and model seed")
     add_json_argument(parser, "write the full metrics report to a JSON file")
     add_smoke_argument(parser,
@@ -83,6 +101,13 @@ def run(args: argparse.Namespace) -> int:
             baseline=args.baseline,
             slo_ttft=args.slo_ttft,
             slo_tpot=args.slo_tpot,
+            faults=args.faults,
+            fault_preset=args.fault_preset,
+            retry_policy=args.retry_policy,
+            deadline=args.deadline,
+            admission_limit=args.admission_limit,
+            warm_spares=args.warm_spares,
+            failover_delay=args.failover_delay,
             cluster=cluster_from_args(args),
             seed=args.seed,
             smoke=args.smoke,

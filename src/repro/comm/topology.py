@@ -123,6 +123,32 @@ class Topology:
             base_n_gpus=self.base_n_gpus,
         )
 
+    def degraded(self, factor: float) -> "Topology":
+        """The same server with its links running at ``factor`` of peak bandwidth.
+
+        Models a degraded interconnect (flapping link, congested fabric): the
+        whole Fig. 8 bandwidth curve scales down while the base latency and
+        saturation knee stay put.  The name gains a ``@bw<factor>`` suffix so
+        plan caches keyed on topology name keep faulted and nominal pricing
+        separate.  ``factor == 1`` returns ``self`` unchanged.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("degradation factor must be in (0, 1]")
+        if factor == 1.0:
+            return self
+        return Topology(
+            name=f"{self.name}@bw{factor:g}",
+            n_gpus=self.n_gpus,
+            kind=self.kind,
+            peak_bus_bandwidth_gbps=self.peak_bus_bandwidth_gbps * factor,
+            base_latency_us=self.base_latency_us,
+            half_saturation_mb=self.half_saturation_mb,
+            comm_sm_count=self.comm_sm_count,
+            supports_p2p=self.supports_p2p,
+            intra_node=self.intra_node,
+            base_n_gpus=self.base_n_gpus,
+        )
+
 
 # -- presets -----------------------------------------------------------------
 

@@ -312,12 +312,14 @@ class GemmShapeCache:
         return cache
 
     def save(self, path) -> None:
-        """Write the cache to a JSON file, creating parent directories."""
-        from pathlib import Path
+        """Write the cache to a JSON file, creating parent directories.
 
-        target = Path(path)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(self.to_json(), encoding="utf-8")
+        The write is atomic (temp file + rename), so a run interrupted
+        mid-save never corrupts an existing warm-start cache.
+        """
+        from repro.atomic import atomic_write_text
+
+        atomic_write_text(path, self.to_json())
 
     @classmethod
     def load(cls, path, missing_ok: bool = False) -> "GemmShapeCache":

@@ -1,0 +1,126 @@
+"""Piecewise-constant speed timelines for fault modelling.
+
+A :class:`SpeedTimeline` maps simulation time to a *speed factor*: 1.0 is
+nominal, values below 1.0 model a straggling resource (1/slowdown), and 0.0
+models a resource that is down.  The two queries the simulators need are
+
+* :meth:`SpeedTimeline.speed_at` -- the factor at one instant, and
+* :meth:`SpeedTimeline.finish_time` -- when a task of ``work`` fault-free
+  seconds finishes if it starts at ``start`` and progresses at the timeline's
+  rate (work integrates across segment boundaries; zero-speed segments stall
+  the task until they end).
+
+Timelines are pure, deterministic functions of their windows, so the same
+fault plan replays bit-identically.  The fault-free timeline (no windows)
+returns exactly ``start + work`` -- not a numerically-equal sum -- which is
+what lets an empty :class:`~repro.faults.plan.FaultPlan` degenerate to the
+fault-free simulation bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SpeedTimeline", "SpeedWindow"]
+
+
+@dataclass(frozen=True)
+class SpeedWindow:
+    """One interval during which a multiplicative speed factor applies."""
+
+    start: float
+    end: float
+    speed: float
+
+    def __post_init__(self) -> None:
+        if not self.start < self.end:
+            raise ValueError(f"window start {self.start} must precede end {self.end}")
+        if self.speed < 0:
+            raise ValueError("speed must be non-negative")
+
+
+class SpeedTimeline:
+    """Piecewise-constant speed factor over time (1.0 outside all windows).
+
+    Overlapping windows compose multiplicatively: two concurrent 2x
+    stragglers run the resource at 0.25 speed, and any zero-speed window
+    forces the whole overlap to zero.
+    """
+
+    def __init__(self, windows: list[SpeedWindow] | None = None) -> None:
+        self.windows = sorted(windows or [], key=lambda w: (w.start, w.end))
+        # Precompute disjoint segments with their composed speed.
+        boundaries = sorted({t for w in self.windows for t in (w.start, w.end)})
+        self._segments: list[tuple[float, float, float]] = []
+        for left, right in zip(boundaries, boundaries[1:]):
+            speed = 1.0
+            for window in self.windows:
+                if window.start <= left and right <= window.end:
+                    speed *= window.speed
+            if speed != 1.0:
+                self._segments.append((left, right, speed))
+
+    @property
+    def is_nominal(self) -> bool:
+        """True when the timeline never deviates from speed 1.0."""
+        return not self._segments
+
+    def speed_at(self, time: float) -> float:
+        for left, right, speed in self._segments:
+            if left <= time < right:
+                return speed
+        return 1.0
+
+    def finish_time(self, start: float, work: float) -> float:
+        """When ``work`` fault-free seconds of work finish if started at ``start``.
+
+        Work progresses at ``speed_at(t)`` per wall-clock second; zero-speed
+        segments contribute no progress (the task stalls until the segment
+        ends).  Raises if the timeline ends in an *unbounded* zero-speed
+        window, which cannot happen for windows built from a finite plan.
+        """
+        if work < 0:
+            raise ValueError("work must be non-negative")
+        if self.is_nominal:
+            return start + work
+        now = start
+        remaining = work
+        for left, right, speed in self._segments:
+            if right <= now:
+                continue
+            if remaining <= 0:
+                break
+            # Nominal-speed gap before this segment.
+            if now < left:
+                gap = left - now
+                if remaining <= gap:
+                    return now + remaining
+                now = left
+                remaining -= gap
+            span = right - now
+            if speed == 0.0:
+                now = right
+                continue
+            capacity = span * speed
+            if remaining <= capacity:
+                return now + remaining / speed
+            now = right
+            remaining -= capacity
+        # Past the last segment the speed is nominal again.
+        return now + remaining
+
+    def downtime_within(self, horizon: float) -> float:
+        """Total zero-speed time inside ``[0, horizon]``."""
+        if horizon <= 0:
+            return 0.0
+        total = 0.0
+        for left, right, speed in self._segments:
+            if speed == 0.0:
+                total += max(0.0, min(right, horizon) - max(left, 0.0))
+        return total
+
+    def availability(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` the resource is up (speed > 0)."""
+        if horizon <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.downtime_within(horizon) / horizon)

@@ -34,7 +34,8 @@ asserts exact float equality, not tolerance).
 from __future__ import annotations
 
 import json
-from collections.abc import Sequence
+import time
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -133,12 +134,11 @@ class ParallelismPlan:
         )
 
     def save(self, path: str | Path) -> Path:
-        target = Path(path)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(
-            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        from repro.atomic import atomic_write_text
+
+        return atomic_write_text(
+            path, json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
         )
-        return target
 
     @classmethod
     def load(cls, path: str | Path) -> "ParallelismPlan":
@@ -249,6 +249,8 @@ def search_plan(
     layer_weights: Sequence[float] | None = None,
     max_configs: int | None = None,
     prune: bool = True,
+    deadline_s: float | None = None,
+    clock: Callable[[], float] | None = None,
     estimator: PipelineEstimator | None = None,
 ) -> PlanSearchReport:
     """Search the joint parallelism space of one workload on one cluster.
@@ -259,6 +261,13 @@ def search_plan(
     balanced one; heterogeneous stacks make them diverge).  ``max_configs``
     bounds the number of priced batches (skipped ones are reported, never
     silently dropped); ``prune=False`` disables dominated-batch pruning.
+
+    ``deadline_s`` bounds the *wall clock* of the pricing loop: batches are
+    priced best-bound-first, so when the budget runs out the report holds the
+    best-so-far frontier, the remaining batches land in ``space["pruned"]``
+    and ``space["truncated"]`` is set.  ``clock`` (default
+    :func:`time.monotonic`) exists so tests can drive the deadline with a
+    fake clock.
     """
     cluster = cluster or ClusterSpec()
     estimator = estimator or PipelineEstimator(settings)
@@ -367,7 +376,14 @@ def search_plan(
     estimates: dict[tuple, PipelineEstimate] = {}
     pruned: list[dict] = []
     evaluated = 0
+    truncated = False
+    clock = clock or time.monotonic
+    search_start = clock()
     for batch in sorted(batches, key=lambda b: b.sort_key):
+        if deadline_s is not None and clock() - search_start >= deadline_s:
+            truncated = True
+            pruned.append(batch.skip_dict("wall-clock deadline exceeded"))
+            continue
         if max_configs is not None and evaluated >= max_configs:
             pruned.append(batch.skip_dict("search budget exhausted (max_configs)"))
             continue
@@ -436,6 +452,7 @@ def search_plan(
             "seed": settings.seed,
             "prune": prune,
             "max_configs": max_configs,
+            "deadline_s": deadline_s,
         },
         points=points,
         frontier=frontier,
@@ -448,6 +465,7 @@ def search_plan(
             "points": len(points),
             "skipped": [skip.to_dict() for skip in skipped],
             "pruned": pruned,
+            "truncated": truncated,
         },
         plan_stats=plan_stats,
     )

@@ -81,11 +81,14 @@ class PlanSearchReport(ReportMixin):
             )
         space = self.space
         if space:
-            lines.append(
+            line = (
                 f"search : {space['evaluated']}/{space['batches']} batches priced "
                 f"({len(space['pruned'])} pruned/budgeted, "
                 f"{len(space['skipped'])} infeasible), {space['points']} points"
             )
+            if space.get("truncated"):
+                line += " [TRUNCATED: wall-clock deadline hit, frontier is best-so-far]"
+            lines.append(line)
         stats = self.plan_stats
         if stats:
             lines.append(

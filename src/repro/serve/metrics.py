@@ -60,6 +60,42 @@ class RequestRecord:
         }
 
 
+#: Ways a request can leave the system without completing.
+FAILURE_OUTCOMES = ("dropped", "shed", "timed-out")
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One request that left the system without completing.
+
+    ``time`` is when the terminal decision was made: the arrival attempt that
+    exhausted its retries (``dropped``), the shed arrival (``shed``), or the
+    deadline expiry (``timed-out``).  ``attempts`` counts arrival attempts
+    including the original one.
+    """
+
+    request_id: int
+    arrival_time: float
+    outcome: str
+    time: float
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.outcome not in FAILURE_OUTCOMES:
+            raise ValueError(
+                f"outcome must be one of {FAILURE_OUTCOMES}, got {self.outcome!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "arrival_time": self.arrival_time,
+            "outcome": self.outcome,
+            "time": self.time,
+            "attempts": self.attempts,
+        }
+
+
 @dataclass(frozen=True)
 class LatencyStats:
     """Distribution summary of one latency series."""

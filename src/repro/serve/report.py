@@ -20,7 +20,12 @@ __all__ = ["ServeReport"]
 
 @dataclass
 class ServeReport(ReportMixin):
-    """One serving simulation: overlap arm, optional baseline, SLO, traffic."""
+    """One serving simulation: overlap arm, optional baseline, SLO, traffic.
+
+    Fault-injected runs additionally carry the fault-free reference arm (the
+    same traffic and config without the fault plan) so the report can state
+    goodput-under-failure against the fault-free baseline.
+    """
 
     config: ServeConfig
     slo: SLO
@@ -28,7 +33,37 @@ class ServeReport(ReportMixin):
     baseline: ServingResult | None = None
     traffic: str = ""
     num_requests: int = 0
+    fault_free: ServingResult | None = None
     meta: dict = field(default_factory=dict)
+
+    def fault_summary(self) -> dict | None:
+        """The degraded-mode axis; None for a fault-free, policy-free run."""
+        stats = self.overlap.fault_stats
+        if stats is None:
+            return None
+        metrics = self.overlap.metrics(self.slo)
+        block = {
+            "plan": stats["plan"],
+            "availability": stats["availability"],
+            "crashes": stats["crashes"],
+            "failovers": stats["failovers"],
+            "recovery_s": stats["recovery_s"],
+            "retry_amplification": stats["retry_amplification"],
+            "dropped": stats["dropped"],
+            "shed": stats["shed"],
+            "timed_out": stats["timed_out"],
+            "wasted_iterations": stats["wasted_iterations"],
+            "goodput_under_failure_rps": metrics.goodput_requests_per_s,
+        }
+        if self.fault_free is not None:
+            reference = self.fault_free.metrics(self.slo)
+            block["fault_free_goodput_rps"] = reference.goodput_requests_per_s
+            block["goodput_ratio_vs_fault_free"] = (
+                metrics.goodput_requests_per_s / reference.goodput_requests_per_s
+                if reference.goodput_requests_per_s > 0
+                else 0.0
+            )
+        return block
 
     def summary_table(self) -> str:
         metrics = self.overlap.metrics(self.slo)
@@ -71,10 +106,36 @@ class ServeReport(ReportMixin):
                 f"TTFT p99 {base.ttft.p99 / metrics.ttft.p99:.3f}x, "
                 f"makespan {self.baseline.makespan_s / self.overlap.makespan_s:.3f}x"
             )
+        faults = self.fault_summary()
+        if faults is not None:
+            recovery = faults["recovery_s"]
+            lines.append(
+                f"faults     : {faults['plan'] or 'policy-only'} -- "
+                f"availability {faults['availability'] * 100:.1f}%, "
+                f"{faults['crashes']} crashes ({faults['failovers']} failovers), "
+                f"mean recovery {recovery['mean'] * 1e3:.0f} ms"
+            )
+            lines.append(
+                f"resilience : retry amplification {faults['retry_amplification']:.2f}x, "
+                f"{faults['dropped']} dropped / {faults['shed']} shed / "
+                f"{faults['timed_out']} timed out, "
+                f"{faults['wasted_iterations']} iterations wasted"
+            )
+            if "fault_free_goodput_rps" in faults:
+                lines.append(
+                    f"degraded   : goodput {faults['goodput_under_failure_rps']:.1f} req/s "
+                    f"vs {faults['fault_free_goodput_rps']:.1f} fault-free "
+                    f"({faults['goodput_ratio_vs_fault_free']:.3f}x)"
+                )
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
         payload = {"meta": self.meta, "overlap": self.overlap.to_dict(self.slo)}
         if self.baseline is not None:
             payload["non-overlap"] = self.baseline.to_dict(self.slo)
+        faults = self.fault_summary()
+        if faults is not None:
+            payload["faults"] = faults
+        if self.fault_free is not None:
+            payload["fault-free"] = self.fault_free.to_dict(self.slo)
         return payload

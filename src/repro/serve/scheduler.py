@@ -105,6 +105,22 @@ class ContinuousBatchingScheduler:
         self._states[request.request_id] = state
         self._waiting.append(state)
 
+    def remove(self, request_id: int) -> bool:
+        """Evict a request wherever it is (deadline/abandon path).
+
+        Returns True when the request was tracked.  The serving loop only
+        calls this between iterations, so an in-flight batch never references
+        an evicted request.
+        """
+        state = self._states.pop(request_id, None)
+        if state is None:
+            return False
+        if state in self._running:
+            self._running.remove(state)
+        else:
+            self._waiting.remove(state)
+        return True
+
     @property
     def has_work(self) -> bool:
         return bool(self._waiting or self._running)

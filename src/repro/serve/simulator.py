@@ -15,6 +15,15 @@ token count, so the simulator prices exactly the layer the end-to-end
 benchmarks price, and every overlap-target latency is pre-simulated once per
 bucket by the plan cache.  Everything is deterministic: the same config,
 traffic and seed produce a bit-identical metrics report.
+
+Fault injection threads through the same loop: a
+:class:`~repro.faults.injector.FaultInjector` makes the replica crash (the
+in-flight iteration is aborted and its work wasted), straggle (iteration
+finish times stretch along the compute speed timeline), lose interconnect
+bandwidth (iterations are priced against a degraded topology) or drop
+arrivals, while the :class:`~repro.faults.policy.ResiliencePolicy` drives
+retries with backoff, per-request deadlines, admission control and warm-spare
+failover.  Fault timelines are seeded, so chaos runs replay bit-identically.
 """
 
 from __future__ import annotations
@@ -24,9 +33,18 @@ from dataclasses import dataclass, field
 from repro.comm.topology import Topology, a800_nvlink
 from repro.core.baselines import NonOverlapBaseline
 from repro.core.config import DEFAULT_SETTINGS, OverlapProblem, OverlapSettings
+from repro.faults.injector import FaultInjector
+from repro.faults.metrics import build_fault_stats
+from repro.faults.policy import ResiliencePolicy
 from repro.gpu.device import A800, GPUSpec
 from repro.serve.arrivals import Request
-from repro.serve.metrics import SLO, RequestRecord, ServingMetrics, compute_metrics
+from repro.serve.metrics import (
+    SLO,
+    FailureRecord,
+    RequestRecord,
+    ServingMetrics,
+    compute_metrics,
+)
 from repro.serve.plan_cache import PlanCache, bucket_tokens
 from repro.serve.scheduler import ContinuousBatchingScheduler, IterationBatch
 from repro.sim.engine import EventEngine
@@ -103,13 +121,25 @@ class ServingResult:
     #: Bucketed iteration token count -> number of iterations at that bucket.
     token_buckets: dict[int, int] = field(default_factory=dict)
     plan_cache_stats: dict | None = None
+    #: Requests that left the system without completing (faulted runs only).
+    failures: list[FailureRecord] = field(default_factory=list)
+    #: Iterations aborted by a crash, and the batched tokens they carried.
+    wasted_iterations: int = 0
+    wasted_tokens: int = 0
+    #: Degraded-mode summary; None for a plain (fault-free, policy-free) run.
+    fault_stats: dict | None = None
 
     def metrics(self, slo: SLO | None = None) -> ServingMetrics:
         return compute_metrics(self.records, self.makespan_s, slo)
 
     def to_dict(self, slo: SLO | None = None) -> dict:
-        """JSON-stable report (identical for identical runs)."""
-        return {
+        """JSON-stable report (identical for identical runs).
+
+        The ``faults`` / ``failures`` keys appear only when fault injection or
+        a resilience policy was active, so plain runs serialize exactly as
+        they always did.
+        """
+        payload = {
             "mode": self.mode,
             "iterations": self.iterations,
             "total_batched_tokens": self.total_batched_tokens,
@@ -118,6 +148,10 @@ class ServingResult:
             "plan_cache": self.plan_cache_stats,
             "metrics": self.metrics(slo).to_dict(),
         }
+        if self.fault_stats is not None:
+            payload["faults"] = self.fault_stats
+            payload["failures"] = [record.to_dict() for record in self.failures]
+        return payload
 
 
 class ServingSimulator:
@@ -128,6 +162,8 @@ class ServingSimulator:
         config: ServeConfig,
         plan_cache: PlanCache | None = None,
         mode: str = "overlap",
+        faults: FaultInjector | None = None,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         if mode not in SERVE_MODES:
             raise ValueError(f"mode must be one of {SERVE_MODES}, got {mode!r}")
@@ -136,22 +172,29 @@ class ServingSimulator:
         if plan_cache is None and mode == "overlap":
             plan_cache = PlanCache(config.settings, min_bucket=config.min_bucket)
         self.plan_cache = plan_cache
-        self._ops_by_bucket: dict[int, list[OperatorInstance]] = {}
-        self._baseline_latency_by_bucket: dict[int, float] = {}
+        self.faults = faults
+        # The injector already carries the policy it was compiled under; an
+        # explicit `resilience` argument overrides the loop-side knobs only.
+        if resilience is None and faults is not None:
+            resilience = faults.policy
+        self.resilience = resilience
+        self._ops_by_bucket: dict[tuple[int, float], list[OperatorInstance]] = {}
+        self._baseline_latency_by_bucket: dict[tuple[int, float], float] = {}
 
     # -- iteration latency model ---------------------------------------------------
 
-    def _layer_ops(self, bucket: int) -> list[OperatorInstance]:
-        ops = self._ops_by_bucket.get(bucket)
+    def _layer_ops(self, bucket: int, comm_factor: float = 1.0) -> list[OperatorInstance]:
+        key = (bucket, comm_factor)
+        ops = self._ops_by_bucket.get(key)
         if ops is None:
             ops = llm_inference_layer(
                 self.config.model,
                 bucket,
                 ParallelismConfig(tp=self.config.tp),
                 self.config.device,
-                self.config.topology,
+                self.config.topology.degraded(comm_factor),
             )
-            self._ops_by_bucket[bucket] = ops
+            self._ops_by_bucket[key] = ops
         return ops
 
     def _overlap_target_latency(self, problem: OverlapProblem) -> float:
@@ -159,20 +202,27 @@ class ServingSimulator:
             return self.plan_cache.lookup(problem).overlap_latency
         return NonOverlapBaseline(self.config.settings).latency(problem)
 
-    def iteration_latency(self, total_tokens: int) -> float:
-        """Latency of one engine iteration batching ``total_tokens`` tokens."""
+    def iteration_latency(self, total_tokens: int, comm_factor: float = 1.0) -> float:
+        """Latency of one engine iteration batching ``total_tokens`` tokens.
+
+        ``comm_factor`` prices the iteration against a topology whose link
+        bandwidth is scaled to that fraction (degraded-interconnect faults);
+        the plan cache keys on topology name, so degraded and nominal plans
+        coexist in one cache.
+        """
         bucket = bucket_tokens(total_tokens, self.config.min_bucket)
-        if self.mode == "non-overlap" and bucket in self._baseline_latency_by_bucket:
-            return self._baseline_latency_by_bucket[bucket]
+        key = (bucket, comm_factor)
+        if self.mode == "non-overlap" and key in self._baseline_latency_by_bucket:
+            return self._baseline_latency_by_bucket[key]
         per_layer = 0.0
-        for op in self._layer_ops(bucket):
+        for op in self._layer_ops(bucket, comm_factor):
             if op.problem is not None:
                 per_layer += self._overlap_target_latency(op.problem) * op.count
             else:
                 per_layer += op.other_latency * op.count
         latency = per_layer * self.config.layers + self.config.iteration_overhead_us * 1e-6
         if self.mode == "non-overlap":
-            self._baseline_latency_by_bucket[bucket] = latency
+            self._baseline_latency_by_bucket[key] = latency
         return latency
 
     # -- event loop ------------------------------------------------------------------
@@ -188,19 +238,84 @@ class ServingSimulator:
         arrivals = {r.request_id: r for r in requests}
         first_token_times: dict[int, float] = {}
         records: list[RequestRecord] = []
-        state = {"busy": False, "iterations": 0, "tokens": 0}
+        failures: list[FailureRecord] = []
+        state = {
+            "busy": False,
+            "iterations": 0,
+            "tokens": 0,
+            "wasted_iterations": 0,
+            "wasted_tokens": 0,
+            "attempts": 0,
+            "retries": 0,
+        }
         token_buckets: dict[int, int] = {}
+        injector = self.faults
+        policy = self.resilience
+        retry = policy.retry if policy is not None else None
+        attempts_of: dict[int, int] = {}
+        deadline_events: dict[int, object] = {}
+        done: set[int] = set()  # completed or failed request IDs
+        inflight = {"event": None, "batch": None, "ids": frozenset()}
+        # Requests whose deadline expired while their batch was in flight;
+        # evicted right after that batch commits (or after a crash aborts it).
+        expired_pending: set[int] = set()
+
+        def clear_inflight() -> None:
+            inflight["event"] = None
+            inflight["batch"] = None
+            inflight["ids"] = frozenset()
+
+        def deadline_of(request: Request) -> float:
+            return request.arrival_time + policy.deadline_s
+
+        def record_failure(request: Request, outcome: str, time: float, attempts: int) -> None:
+            done.add(request.request_id)
+            first_token_times.pop(request.request_id, None)
+            event = deadline_events.pop(request.request_id, None)
+            if event is not None:
+                engine.cancel(event)
+            failures.append(
+                FailureRecord(
+                    request_id=request.request_id,
+                    arrival_time=request.arrival_time,
+                    outcome=outcome,
+                    time=time,
+                    attempts=attempts,
+                )
+            )
+
+        def evict_expired() -> None:
+            for request_id in sorted(expired_pending):
+                request = arrivals[request_id]
+                scheduler.remove(request_id)
+                record_failure(request, "timed-out", deadline_of(request),
+                               attempts_of.get(request_id, 1))
+            expired_pending.clear()
 
         def start_next_iteration() -> None:
+            now = engine.now
+            if injector is not None and injector.is_down(now):
+                state["busy"] = False
+                return
             batch = scheduler.next_batch()
             if batch is None:
                 state["busy"] = False
                 return
             state["busy"] = True
-            engine.schedule_after(self.iteration_latency(batch.total_tokens),
-                                  finish_iteration, batch)
+            comm_factor = injector.comm_factor_at(now) if injector is not None else 1.0
+            latency = self.iteration_latency(batch.total_tokens, comm_factor=comm_factor)
+            finish = (
+                injector.straggler_finish(now, latency) if injector is not None
+                else now + latency
+            )
+            inflight["event"] = engine.schedule(finish, finish_iteration, batch)
+            inflight["batch"] = batch
+            inflight["ids"] = frozenset(
+                {chunk.request_id for chunk in batch.prefill} | set(batch.decode)
+            )
 
         def finish_iteration(batch: IterationBatch) -> None:
+            clear_inflight()
             outcome = scheduler.apply(batch)
             now = engine.now
             state["iterations"] += 1
@@ -211,6 +326,20 @@ class ServingSimulator:
                 first_token_times[request_id] = now
             for request_id in outcome.finished:
                 request = arrivals[request_id]
+                expired_pending.discard(request_id)
+                if (
+                    policy is not None
+                    and policy.deadline_s is not None
+                    and now > deadline_of(request)
+                ):
+                    # The last token landed after the client gave up.
+                    record_failure(request, "timed-out", deadline_of(request),
+                                   attempts_of.get(request_id, 1))
+                    continue
+                done.add(request_id)
+                event = deadline_events.pop(request_id, None)
+                if event is not None:
+                    engine.cancel(event)
                 records.append(
                     RequestRecord(
                         request_id=request_id,
@@ -221,13 +350,70 @@ class ServingSimulator:
                         output_tokens=request.output_tokens,
                     )
                 )
+            evict_expired()
             start_next_iteration()
 
-        def on_arrival(request: Request) -> None:
+        def on_deadline(request_id: int) -> None:
+            deadline_events.pop(request_id, None)
+            if request_id in done:
+                return
+            if request_id in inflight["ids"]:
+                # Mid-iteration: let the batch commit, then evict.
+                expired_pending.add(request_id)
+                return
+            request = arrivals[request_id]
+            scheduler.remove(request_id)
+            record_failure(request, "timed-out", engine.now,
+                           attempts_of.get(request_id, 1))
+
+        def on_arrival(request: Request, attempt: int = 1) -> None:
+            now = engine.now
+            state["attempts"] += 1
+            if injector is not None and injector.drops(request.request_id, attempt, now):
+                if retry is not None and attempt <= retry.max_retries:
+                    state["retries"] += 1
+                    engine.schedule_after(
+                        retry.delay(attempt, request.request_id),
+                        on_arrival, request, attempt + 1,
+                    )
+                else:
+                    record_failure(request, "dropped", now, attempt)
+                return
+            if (
+                policy is not None
+                and policy.admission_limit is not None
+                and scheduler.waiting_count + scheduler.running_count >= policy.admission_limit
+            ):
+                record_failure(request, "shed", now, attempt)
+                return
+            attempts_of[request.request_id] = attempt
             scheduler.add(request)
+            if policy is not None and policy.deadline_s is not None:
+                deadline_events[request.request_id] = engine.schedule(
+                    max(now, deadline_of(request)), on_deadline, request.request_id
+                )
             if not state["busy"]:
                 start_next_iteration()
 
+        def on_crash() -> None:
+            if inflight["event"] is not None:
+                # Abort the in-flight iteration: its work is lost (next_batch
+                # mutated queues but apply() never commits the progress).
+                engine.cancel(inflight["event"])
+                state["wasted_iterations"] += 1
+                state["wasted_tokens"] += inflight["batch"].total_tokens
+                clear_inflight()
+                evict_expired()
+            state["busy"] = False
+
+        def on_recover() -> None:
+            if not state["busy"] and scheduler.has_work:
+                start_next_iteration()
+
+        if injector is not None:
+            for window in injector.downtime:
+                engine.schedule(window.start, on_crash)
+                engine.schedule(window.end, on_recover)
         for request in requests:
             engine.schedule(request.arrival_time, on_arrival, request)
         engine.run()
@@ -236,6 +422,19 @@ class ServingSimulator:
             raise RuntimeError("serving simulation drained with unfinished requests")
 
         records.sort(key=lambda r: r.request_id)
+        failures.sort(key=lambda f: f.request_id)
+        fault_stats = None
+        if injector is not None or (policy is not None and policy.engaged):
+            fault_stats = build_fault_stats(
+                injector,
+                makespan_s=engine.now,
+                num_requests=len(requests),
+                attempts=state["attempts"],
+                retries=state["retries"],
+                failures=failures,
+                wasted_iterations=state["wasted_iterations"],
+                wasted_tokens=state["wasted_tokens"],
+            )
         return ServingResult(
             mode=self.mode,
             records=records,
@@ -244,6 +443,10 @@ class ServingSimulator:
             makespan_s=engine.now,
             token_buckets=token_buckets,
             plan_cache_stats=self.plan_cache.stats() if self.plan_cache is not None else None,
+            failures=failures,
+            wasted_iterations=state["wasted_iterations"],
+            wasted_tokens=state["wasted_tokens"],
+            fault_stats=fault_stats,
         )
 
 
@@ -251,13 +454,20 @@ def compare_serving(
     config: ServeConfig,
     requests: list[Request],
     plan_cache: PlanCache | None = None,
+    faults: FaultInjector | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> dict[str, ServingResult]:
     """Run the same traffic under overlap and non-overlap execution.
 
-    The two runs share nothing but the request list, so the baseline's slower
-    iterations feed back into its queueing delays -- the serving-level effect
-    operator-level speedup numbers cannot show.
+    The two runs share nothing but the request list (and the fault timeline,
+    when given), so the baseline's slower iterations feed back into its
+    queueing delays -- the serving-level effect operator-level speedup numbers
+    cannot show.
     """
-    overlap = ServingSimulator(config, plan_cache=plan_cache, mode="overlap").run(requests)
-    baseline = ServingSimulator(config, mode="non-overlap").run(requests)
+    overlap = ServingSimulator(
+        config, plan_cache=plan_cache, mode="overlap", faults=faults, resilience=resilience
+    ).run(requests)
+    baseline = ServingSimulator(
+        config, mode="non-overlap", faults=faults, resilience=resilience
+    ).run(requests)
     return {"overlap": overlap, "non-overlap": baseline}

@@ -22,13 +22,27 @@ through the resource orders) raises instead of hanging.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
+from typing import Protocol
 
 from repro.gpu.kernels import KernelCategory
 from repro.sim.engine import EventEngine
 from repro.sim.trace import Trace
 
-__all__ = ["ReplayTask", "ReplayResult", "replay_tasks"]
+__all__ = ["ReplayTask", "ReplayResult", "SpeedProfile", "replay_tasks"]
+
+
+class SpeedProfile(Protocol):
+    """Anything that can stretch a task's duration over wall-clock time.
+
+    ``finish_time(start, work)`` returns when ``work`` nominal seconds of
+    work complete if started at ``start``.  The fault layer's
+    :class:`repro.faults.timeline.SpeedTimeline` satisfies this; the protocol
+    keeps ``sim`` free of a dependency on ``faults``.
+    """
+
+    def finish_time(self, start: float, work: float) -> float: ...
 
 
 @dataclass(frozen=True)
@@ -76,8 +90,19 @@ class ReplayResult:
         return self.makespan - self.busy[resource]
 
 
-def replay_tasks(tasks: list[ReplayTask], record_trace: bool = False) -> ReplayResult:
-    """Replay ``tasks`` (FIFO per resource, dependency-gated) on the engine."""
+def replay_tasks(
+    tasks: list[ReplayTask],
+    record_trace: bool = False,
+    resource_profiles: Mapping[str, SpeedProfile] | None = None,
+) -> ReplayResult:
+    """Replay ``tasks`` (FIFO per resource, dependency-gated) on the engine.
+
+    ``resource_profiles`` optionally maps a resource name to a
+    :class:`SpeedProfile`; that resource's tasks then take
+    ``profile.finish_time(start, duration) - start`` wall-clock seconds
+    instead of ``duration`` (straggling or crashed stages stretch, nominal
+    profiles change nothing).
+    """
     by_name = {}
     for task in tasks:
         if task.name in by_name:
@@ -126,7 +151,11 @@ def replay_tasks(tasks: list[ReplayTask], record_trace: bool = False) -> ReplayR
             start = max(ready, engine.now)
             heads[resource] += 1
             running[resource] = True
-            engine.schedule(start + task.duration, finish, task, start)
+            profile = (resource_profiles or {}).get(resource)
+            end = start + task.duration if profile is None else profile.finish_time(
+                start, task.duration
+            )
+            engine.schedule(end, finish, task, start)
 
     engine.schedule(0.0, pump)
     engine.run()

@@ -79,10 +79,10 @@ def trace_to_chrome_events(trace: Trace, process_name: str = "simulated-gpu") ->
 
 def export_chrome_trace(trace: Trace, path: str | Path, process_name: str = "simulated-gpu") -> Path:
     """Write a Chrome trace JSON file and return its path."""
-    path = Path(path)
+    from repro.atomic import atomic_write_text
+
     payload = {"traceEvents": trace_to_chrome_events(trace, process_name), "displayTimeUnit": "ms"}
-    path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
-    return path
+    return atomic_write_text(path, json.dumps(payload, indent=2))
 
 
 def load_chrome_trace(path: str | Path) -> dict:

@@ -26,6 +26,8 @@ Two caches with different scopes make a sweep fast:
 from __future__ import annotations
 
 import json
+import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
@@ -103,7 +105,11 @@ def _execute_scenario(payload: dict, cache: GemmShapeCache | None, baselines: bo
             comparison = compare_methods(problem, settings=settings)
             record["method_speedups"] = dict(comparison.speedups)
     except Exception as error:  # noqa: BLE001 - a failed job must not kill the sweep
-        record.update(status="error", error=f"{type(error).__name__}: {error}")
+        record.update(
+            status="error",
+            error=f"{type(error).__name__}: {error}",
+            traceback=traceback.format_exc(),
+        )
     return record
 
 
@@ -117,17 +123,24 @@ class SweepSummary:
     failed: int
     tuned: int
     cache_hits: int
+    #: Jobs that needed more than one attempt (crashed worker, raised error).
+    retried: int = 0
+    #: Jobs that exhausted their retry budget and were stored as ``failed``.
+    quarantined: int = 0
     records: list[dict] = field(default_factory=list)
     #: Offline-profile memoization counters of *this* process (worker
     #: processes keep their own caches; None when nothing ran in-process).
     profile_cache: dict | None = None
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.executed}/{self.total_scenarios} jobs executed "
             f"({self.skipped} resumed, {self.cache_hits} cache hits, "
             f"{self.tuned} tuned, {self.failed} failed)"
         )
+        if self.retried or self.quarantined:
+            text += f"; {self.retried} retried, {self.quarantined} quarantined"
+        return text
 
 
 class SweepRunner:
@@ -147,6 +160,12 @@ class SweepRunner:
     baselines:
         Also evaluate every baseline method per scenario (slower; feeds the
         per-method aggregation of :mod:`repro.analysis.speedup`).
+    max_retries:
+        How many extra attempts a job whose execution *raised* (crashed
+        worker process, broken pool) gets, with exponential backoff, before
+        it is quarantined as a ``failed`` record.  Errors caught inside the
+        job keep producing ``error`` records without retries -- they are
+        deterministic and would fail again.
     """
 
     def __init__(
@@ -157,15 +176,23 @@ class SweepRunner:
         cache: GemmShapeCache | None = None,
         cache_path: str | None = None,
         baselines: bool = False,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
         self.store = store
         self.workers = workers
         self.resume = resume
         self.cache = cache if cache is not None else GemmShapeCache()
         self.cache_path = cache_path
         self.baselines = baselines
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
 
     def run(self, matrix: ScenarioMatrix | list[Scenario]) -> SweepSummary:
         scenarios = matrix.expand() if isinstance(matrix, ScenarioMatrix) else list(matrix)
@@ -178,9 +205,7 @@ class SweepRunner:
         else:
             # The cache is read-only during job execution (merges happen
             # afterwards), so the live object can be shared directly.
-            records = [
-                _execute_scenario(s.to_dict(), self.cache, self.baselines) for s in pending
-            ]
+            records = [self._attempt_with_retries(s) for s in pending]
 
         # Deterministic store order regardless of worker completion order.
         by_id = {record["job_id"]: record for record in records}
@@ -202,20 +227,66 @@ class SweepRunner:
             failed=failed,
             tuned=sum(1 for r in ordered if r.get("tuned")),
             cache_hits=sum(1 for r in ordered if r.get("cache_hit")),
+            retried=sum(1 for r in ordered if r.get("attempts", 1) > 1),
+            quarantined=sum(1 for r in ordered if r.get("status") == "failed"),
             records=ordered,
             profile_cache=profile_cache_info() if self.workers <= 1 and pending else None,
         )
 
+    def _attempt_with_retries(self, scenario: Scenario, already_failed: int = 0) -> dict:
+        """Run one job in-process, retrying *raised* failures with backoff.
+
+        ``_execute_scenario`` catches in-job errors itself (those records come
+        back as ``status="error"`` and are not retried -- rerunning a
+        deterministic failure cannot help).  A raise from the execution
+        machinery is the in-process analog of a crashed worker: the job is
+        retried up to ``max_retries`` times with exponential backoff, then
+        quarantined as a ``failed`` record carrying the traceback.
+        ``already_failed`` counts prior attempts (crashed pool jobs) so the
+        stored attempt count reflects the whole history.
+        """
+        last_traceback = ""
+        last_error = ""
+        for attempt in range(self.max_retries + 1 - already_failed):
+            if attempt and self.retry_backoff_s:
+                time.sleep(self.retry_backoff_s * 2 ** (attempt - 1))
+            try:
+                record = _execute_scenario(scenario.to_dict(), self.cache, self.baselines)
+            except Exception as error:  # noqa: BLE001 - crash analog, retried
+                last_error = f"{type(error).__name__}: {error}"
+                last_traceback = traceback.format_exc()
+                continue
+            total_attempts = already_failed + attempt + 1
+            if total_attempts > 1:
+                record["attempts"] = total_attempts
+            return record
+        return {
+            "job_id": scenario.job_id,
+            "scenario": scenario.to_dict(),
+            "status": "failed",
+            "error": last_error or "worker process crashed",
+            "traceback": last_traceback,
+            "attempts": self.max_retries + 1,
+        }
+
     def _run_pool(self, pending: list[Scenario], cache_json: str | None) -> list[dict]:
         records: list[dict] = []
+        crashed: list[Scenario] = []
         with ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_init_worker,
             initargs=(cache_json, self.baselines),
         ) as pool:
-            futures = [pool.submit(_execute_in_worker, s.to_dict()) for s in pending]
+            futures = {pool.submit(_execute_in_worker, s.to_dict()): s for s in pending}
             for future in as_completed(futures):
-                records.append(future.result())
+                try:
+                    records.append(future.result())
+                except Exception:  # noqa: BLE001 - crashed worker / broken pool
+                    crashed.append(futures[future])
+        # A worker crash (or a broken pool) lost these jobs; retry them
+        # in-process, where the remaining budget and quarantine apply.
+        for scenario in crashed:
+            records.append(self._attempt_with_retries(scenario, already_failed=1))
         return records
 
     def _merge_cache_entry(self, entry: dict) -> None:

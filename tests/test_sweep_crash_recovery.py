@@ -1,0 +1,133 @@
+"""Crash recovery in the sweep runner: retries, quarantine, resumability.
+
+Worker crashes are simulated by monkeypatching the module-level
+``_execute_scenario`` (the single execution entry point both the in-process
+path and the pool-crash fallback go through), so the tests exercise the real
+retry/quarantine machinery without real tuning work.
+"""
+
+import pytest
+
+import repro.sweep.runner as runner_module
+from repro.sweep.matrix import Scenario, ScenarioMatrix
+from repro.sweep.runner import SweepRunner
+from repro.sweep.store import ResultStore
+
+
+@pytest.fixture
+def scenarios():
+    return ScenarioMatrix.build(
+        name="tiny",
+        workload="tiny",
+        shapes=[(512, 1024, 1024)],
+        platforms=[("rtx4090", "rtx4090-pcie", 4)],
+        collectives=["allreduce", "reducescatter"],
+    ).expand()
+
+
+@pytest.fixture
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "results.jsonl")
+
+
+def job_id_of(payload: dict) -> str:
+    return Scenario.from_dict(payload).job_id
+
+
+def ok_record(payload: dict) -> dict:
+    return {"job_id": job_id_of(payload), "scenario": payload, "status": "ok",
+            "tuned": False, "cache_hit": True}
+
+
+class TestFlakyJobsRetry:
+    def test_crashes_are_retried_until_success(self, scenarios, store):
+        calls: dict[str, int] = {}
+
+        def flaky(payload, cache, baselines):
+            job_id = job_id_of(payload)
+            calls[job_id] = calls.get(job_id, 0) + 1
+            if calls[job_id] <= 2:
+                raise OSError("worker died")
+            return ok_record(payload)
+
+        runner_module._execute_scenario, original = flaky, runner_module._execute_scenario
+        try:
+            runner = SweepRunner(store, max_retries=2, retry_backoff_s=0.0)
+            summary = runner.run(scenarios)
+        finally:
+            runner_module._execute_scenario = original
+
+        assert summary.failed == 0
+        assert summary.quarantined == 0
+        assert summary.retried == len(scenarios)
+        assert all(r["status"] == "ok" for r in summary.records)
+        assert all(r["attempts"] == 3 for r in summary.records)
+        # Successful jobs land in the store as completed.
+        assert store.completed_ids() == {s.job_id for s in scenarios}
+
+
+class TestQuarantine:
+    def test_exhausted_retries_quarantine_the_job(self, scenarios, store, monkeypatch):
+        def always_crash(payload, cache, baselines):
+            raise OSError("dead")
+
+        monkeypatch.setattr(runner_module, "_execute_scenario", always_crash)
+        runner = SweepRunner(store, max_retries=1, retry_backoff_s=0.0)
+        summary = runner.run(scenarios)
+
+        assert summary.quarantined == len(scenarios)
+        assert summary.failed == len(scenarios)
+        for record in summary.records:
+            assert record["status"] == "failed"
+            assert record["error"] == "OSError: dead"
+            assert "OSError" in record["traceback"]
+            assert record["attempts"] == 2
+        assert "quarantined" in summary.describe()
+
+    def test_quarantined_jobs_are_retried_on_resume(self, scenarios, store, monkeypatch):
+        monkeypatch.setattr(
+            runner_module, "_execute_scenario",
+            lambda payload, cache, baselines: (_ for _ in ()).throw(OSError("dead")),
+        )
+        SweepRunner(store, max_retries=0, retry_backoff_s=0.0).run(scenarios)
+        # Quarantined records never count as completed ...
+        assert store.completed_ids() == set()
+
+        # ... so a resumed run re-attempts every one of them.
+        monkeypatch.setattr(
+            runner_module, "_execute_scenario",
+            lambda payload, cache, baselines: ok_record(payload),
+        )
+        summary = SweepRunner(store, resume=True, retry_backoff_s=0.0).run(scenarios)
+        assert summary.executed == len(scenarios)
+        assert summary.skipped == 0
+        assert summary.failed == 0
+        assert store.completed_ids() == {s.job_id for s in scenarios}
+
+
+class TestDeterministicErrorsNotRetried:
+    def test_in_job_errors_run_exactly_once(self, scenarios, store, monkeypatch):
+        calls: dict[str, int] = {}
+
+        def in_job_error(payload, cache, baselines):
+            job_id = job_id_of(payload)
+            calls[job_id] = calls.get(job_id, 0) + 1
+            return {"job_id": job_id, "scenario": payload,
+                    "status": "error", "error": "ValueError: bad shape"}
+
+        monkeypatch.setattr(runner_module, "_execute_scenario", in_job_error)
+        summary = SweepRunner(store, max_retries=3, retry_backoff_s=0.0).run(scenarios)
+
+        # Errors caught inside the job are deterministic: no retries.
+        assert all(count == 1 for count in calls.values())
+        assert summary.retried == 0
+        assert summary.quarantined == 0
+        assert summary.failed == len(scenarios)
+
+
+class TestRetryConfigValidation:
+    def test_negative_budgets_rejected(self, store):
+        with pytest.raises(ValueError, match="max_retries"):
+            SweepRunner(store, max_retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff_s"):
+            SweepRunner(store, retry_backoff_s=-0.1)
