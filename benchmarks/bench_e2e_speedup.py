@@ -41,6 +41,7 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
+from repro import obs
 from repro.atomic import atomic_write_text
 from repro.core.config import OverlapSettings
 from repro.e2e import estimate_models
@@ -164,8 +165,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    reuse, reuse_transparent, hits_seen = bench_plan_reuse(args.smoke)
-    workloads, deterministic, all_speed_up = bench_e2e_speedups(args.smoke)
+    with obs.observe() as obs_session:
+        with obs.span("plan_reuse"):
+            reuse, reuse_transparent, hits_seen = bench_plan_reuse(args.smoke)
+        with obs.span("workloads"):
+            workloads, deterministic, all_speed_up = bench_e2e_speedups(args.smoke)
     report = {
         "meta": {
             "smoke": args.smoke,
@@ -184,6 +188,7 @@ def main(argv: list[str] | None = None) -> int:
             "fewer_tunes_than_lookups": reuse["tuner_invocations_reused"] < reuse["lookups"],
             "every_workload_speeds_up": all_speed_up,
         },
+        "observability": obs_session.snapshot(command="bench_e2e_speedup").to_dict(),
     }
 
     args.out.parent.mkdir(parents=True, exist_ok=True)

@@ -42,6 +42,7 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
+from repro import obs
 from repro.atomic import atomic_write_text
 from repro.cluster import ClusterSpec
 from repro.plan import dominates, search_plan, verify_replay
@@ -164,7 +165,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    metrics, checks = bench_search(args.smoke)
+    with obs.observe() as obs_session:
+        with obs.span("search"):
+            metrics, checks = bench_search(args.smoke)
     report = {
         "meta": {
             "smoke": args.smoke,
@@ -175,6 +178,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "metrics": metrics,
         "checks": checks,
+        "observability": obs_session.snapshot(command="bench_plan_search").to_dict(),
     }
 
     args.out.parent.mkdir(parents=True, exist_ok=True)

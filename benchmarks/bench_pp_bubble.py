@@ -40,6 +40,7 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
+from repro import obs
 from repro.atomic import atomic_write_text
 from repro.core.config import OverlapSettings
 from repro.e2e import EndToEndEstimator
@@ -188,8 +189,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    grid, monotonic, hits_seen = bench_bubble_grid(args.smoke)
-    checks = bench_checks(args.smoke)
+    with obs.observe() as obs_session:
+        with obs.span("grid"):
+            grid, monotonic, hits_seen = bench_bubble_grid(args.smoke)
+        with obs.span("checks"):
+            checks = bench_checks(args.smoke)
     report = {
         "meta": {
             "smoke": args.smoke,
@@ -204,6 +208,7 @@ def main(argv: list[str] | None = None) -> int:
             "plan_store_reused_across_grid": hits_seen,
             **checks,
         },
+        "observability": obs_session.snapshot(command="bench_pp_bubble").to_dict(),
     }
 
     args.out.parent.mkdir(parents=True, exist_ok=True)

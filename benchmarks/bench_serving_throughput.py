@@ -40,6 +40,7 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
+from repro import obs
 from repro.atomic import atomic_write_text
 from repro.comm.topology import a800_nvlink
 from repro.core.config import OverlapSettings
@@ -204,8 +205,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     config, requests = _scenario(args.smoke)
-    plan_cache, cache_transparent = bench_plan_cache(config, requests)
-    serving, deterministic, overlap_wins = bench_overlap_vs_baseline(config, requests)
+    with obs.observe() as obs_session:
+        with obs.span("plan_cache"):
+            plan_cache, cache_transparent = bench_plan_cache(config, requests)
+        with obs.span("serving"):
+            serving, deterministic, overlap_wins = bench_overlap_vs_baseline(config, requests)
+        with obs.span("simulator"):
+            simulator = bench_simulator_throughput(config, requests)
     report = {
         "meta": {
             "smoke": args.smoke,
@@ -217,7 +223,7 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": {
             "plan_cache": plan_cache,
             "serving": serving,
-            "simulator": bench_simulator_throughput(config, requests),
+            "simulator": simulator,
         },
         "checks": {
             "deterministic": deterministic,
@@ -227,6 +233,7 @@ def main(argv: list[str] | None = None) -> int:
             ),
             "overlap_beats_baseline": overlap_wins,
         },
+        "observability": obs_session.snapshot(command="bench_serving_throughput").to_dict(),
     }
 
     args.out.parent.mkdir(parents=True, exist_ok=True)

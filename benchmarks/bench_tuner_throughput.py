@@ -43,6 +43,7 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
+from repro import obs
 from repro.atomic import atomic_write_text
 from repro.comm.primitives import CollectiveKind
 from repro.comm.topology import rtx4090_pcie
@@ -330,8 +331,17 @@ def main(argv: list[str] | None = None) -> int:
     # single measurement on a loaded CI runner is too noisy to gate on.
     repeats = args.repeats if args.repeats is not None else 3
 
-    predictive, decisions_identical = bench_predictive_tuning(args.smoke, repeats)
-    reorder, pipelines_match = bench_pipeline_reorder(args.smoke, repeats)
+    with obs.observe() as obs_session:
+        with obs.span("predictive_tuning"):
+            predictive, decisions_identical = bench_predictive_tuning(args.smoke, repeats)
+        with obs.span("pipeline_reorder"):
+            reorder, pipelines_match = bench_pipeline_reorder(args.smoke, repeats)
+        with obs.span("profile_memoization"):
+            memoization = bench_profile_memoization(args.smoke, repeats)
+        with obs.span("exhaustive_tuner"):
+            exhaustive = bench_exhaustive(args.smoke, repeats)
+        with obs.span("sweep_tuning"):
+            sweep_tuning = bench_sweep_tuning(args.smoke, repeats)
     report = {
         "meta": {
             "smoke": args.smoke,
@@ -342,14 +352,15 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": {
             "predictive_tuning": predictive,
             "pipeline_reorder": reorder,
-            "profile_memoization": bench_profile_memoization(args.smoke, repeats),
-            "exhaustive_tuner": bench_exhaustive(args.smoke, repeats),
-            "sweep_tuning": bench_sweep_tuning(args.smoke, repeats),
+            "profile_memoization": memoization,
+            "exhaustive_tuner": exhaustive,
+            "sweep_tuning": sweep_tuning,
         },
         "checks": {
             "tuning_decisions_identical": decisions_identical,
             "pipeline_outputs_allclose": pipelines_match,
         },
+        "observability": obs_session.snapshot(command="bench_tuner_throughput").to_dict(),
     }
 
     args.out.parent.mkdir(parents=True, exist_ok=True)

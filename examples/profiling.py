@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Profiling a run with the observability layer (`repro.obs`).
+
+Three ways to see inside a run:
+
+1. `api.plan(..., profile=True)` -- the facade opens an observability
+   session, runs the search inside a root span and attaches the frozen
+   `ProfileSnapshot` to the report (`report.profile`, and the
+   `observability` key of `to_dict()`);
+2. a manual `obs.observe()` session around any library calls, then
+   `session.snapshot()` -- the same data without going through a facade;
+3. the CLI equivalents: `repro plan --smoke --profile` (tables) and
+   `--profile-json profile.json` (machine-readable snapshot).
+
+Run with:  python examples/profiling.py
+"""
+
+from __future__ import annotations
+
+import json
+
+import repro.api as api
+from repro import obs
+
+
+def profiled_facade_call() -> None:
+    """The one-liner: profile=True on any api.* function."""
+    report = api.plan("llama3-training", smoke=True, profile=True)
+    snapshot = report.profile
+
+    print(snapshot.phase_table())
+    print()
+    print(snapshot.metrics_table())
+    print()
+
+    counters = snapshot.metrics["counters"]
+    print(f"winner        : {report.winner.describe()}")
+    print(f"priced        : {counters['plan.batches_evaluated']} batches "
+          f"({counters['plan.batches_pruned']} pruned, "
+          f"{counters['plan.batches_skipped']} skipped)")
+    print(f"plan store    : {counters['plan_store.hits']} hits / "
+          f"{counters['plan_store.misses']} misses "
+          f"({counters['plan_store.tuner_invocations']} tuner invocations)")
+
+    # The snapshot rides along in the JSON payload -- only when profiled.
+    assert "observability" in report.to_dict()
+    assert "observability" not in api.plan("llama3-training", smoke=True).to_dict()
+
+
+def manual_session() -> None:
+    """Wrap any library calls yourself when there is no facade to ask."""
+    from repro.core.config import OverlapProblem, OverlapSettings
+    from repro.core.tuner import PredictiveTuner
+    from repro.comm.topology import rtx4090_pcie
+    from repro.comm.primitives import CollectiveKind
+    from repro.gpu.device import RTX_4090
+    from repro.gpu.gemm import GemmShape
+
+    with obs.observe() as session:
+        for m in (1024, 2048, 4096):
+            problem = OverlapProblem(
+                shape=GemmShape(m, 8192, 8192),
+                device=RTX_4090,
+                topology=rtx4090_pcie(4),
+                collective=CollectiveKind.ALL_REDUCE,
+            )
+            PredictiveTuner(OverlapSettings()).tune(problem)
+
+    snapshot = session.snapshot(command="tune three shapes")
+    print(snapshot.phase_table())
+    tuner_calls = snapshot.metrics["counters"]["tuner.invocations{method=predictive}"]
+    print(f"tuner calls   : {tuner_calls}")
+
+    # The full snapshot is plain JSON (validated by repro.obs.validate_profile).
+    payload = json.loads(snapshot.to_json())
+    obs.validate_profile(payload)
+    print(f"snapshot keys : {', '.join(sorted(payload))}")
+
+
+if __name__ == "__main__":
+    profiled_facade_call()
+    print()
+    manual_session()

@@ -21,13 +21,33 @@ class ReportMixin:
     headline table); the mixin derives the serialisation helpers from
     ``to_dict()`` so the CLI's ``--json`` output and the facade's
     ``to_json()`` are the same bytes by construction.
+
+    A profiled run (``--profile`` / ``api.*(profile=True)``) attaches its
+    :class:`~repro.obs.session.ProfileSnapshot` via
+    :meth:`attach_observability`; ``to_dict()`` implementations close with
+    ``self._with_observability(payload)`` so the snapshot lands under an
+    ``observability`` key.  The attachment is always explicit -- reports
+    never read ambient observability state, so un-profiled payloads stay
+    byte-identical whether or not a session happens to be active.
     """
+
+    #: The explicitly attached profile snapshot; ``None`` on plain runs.
+    profile = None
 
     def to_dict(self) -> dict:  # pragma: no cover - interface declaration
         raise NotImplementedError
 
     def summary_table(self) -> str:  # pragma: no cover - interface declaration
         raise NotImplementedError
+
+    def attach_observability(self, snapshot) -> None:
+        """Attach a profile snapshot; its dict rides along in ``to_dict()``."""
+        self.profile = snapshot
+
+    def _with_observability(self, payload: dict) -> dict:
+        if self.profile is not None:
+            payload["observability"] = self.profile.to_dict()
+        return payload
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"

@@ -27,6 +27,7 @@ import json
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro import obs
 from repro.cluster import ClusterSpec
 from repro.core.config import OverlapSettings
 from repro.e2e.report import EndToEndReport, estimate_models
@@ -73,6 +74,23 @@ PLAN_SMOKE = {
 }
 
 
+def _profiled(command: str, profile: bool, build):
+    """Run ``build()`` under an observability session when ``profile`` is set.
+
+    The report comes back with the profile snapshot attached
+    (``report.profile`` / an ``observability`` section in ``to_dict()``).
+    With ``profile=False`` the session is never opened, so every span and
+    counter on the instrumented paths stays a no-op.
+    """
+    if not profile:
+        return build()
+    with obs.observe() as session:
+        with obs.span(command):
+            report = build()
+        report.attach_observability(session.snapshot(command=command))
+    return report
+
+
 def estimate(
     workloads: Sequence[str] | None = None,
     *,
@@ -83,27 +101,34 @@ def estimate(
     reuse: bool = True,
     record_trace: bool = False,
     smoke: bool = False,
+    profile: bool = False,
 ) -> EndToEndReport:
     """Whole-model latency estimates (the ``repro e2e`` subcommand).
 
     ``workloads=None`` estimates all five paper workloads; ``smoke=True``
     shrinks every model to 2 layers unless ``layers`` is given.
+    ``profile=True`` attaches an observability snapshot to the report.
     """
-    cluster = cluster or ClusterSpec()
-    if smoke and layers is None:
-        layers = 2
-    report = estimate_models(
-        names=list(workloads) if workloads else None,
-        tokens=tokens,
-        device=cluster.device_spec,
-        topology=cluster.resolve(),
-        layers=layers,
-        settings=OverlapSettings(seed=seed),
-        reuse=reuse,
-        record_trace=record_trace,
-    )
-    report.meta["smoke"] = smoke
-    return report
+
+    def build() -> EndToEndReport:
+        nonlocal layers
+        cluster_spec = cluster or ClusterSpec()
+        if smoke and layers is None:
+            layers = 2
+        report = estimate_models(
+            names=list(workloads) if workloads else None,
+            tokens=tokens,
+            device=cluster_spec.device_spec,
+            topology=cluster_spec.resolve(),
+            layers=layers,
+            settings=OverlapSettings(seed=seed),
+            reuse=reuse,
+            record_trace=record_trace,
+        )
+        report.meta["smoke"] = smoke
+        return report
+
+    return _profiled("repro e2e", profile, build)
 
 
 def pp(
@@ -120,46 +145,53 @@ def pp(
     reuse: bool = True,
     record_trace: bool = True,
     smoke: bool = False,
+    profile: bool = False,
 ) -> PipelineReport:
     """Pipeline-parallel schedule estimates (the ``repro pp`` subcommand).
 
     Arguments left at ``None`` take the full-run defaults (4 stages,
     8 microbatches, all five workloads, all three schedules) or, with
     ``smoke=True``, the CI-sized scenario in :data:`PP_SMOKE`.
+    ``profile=True`` attaches an observability snapshot to the report.
     """
-    from repro.workloads.e2e import workload_builders
 
-    cluster = cluster or ClusterSpec()
-    defaults = PP_SMOKE if smoke else PP_DEFAULTS
-    if workloads is None:
-        workloads = defaults.get("workloads")
-    if stages is None:
-        stages = defaults["stages"]
-    if microbatches is None:
-        microbatches = defaults["microbatches"]
-    if layers is None:
-        layers = defaults.get("layers")
-    names = list(workloads) if workloads else sorted(workload_builders())
-    # Canonical (bubble-decreasing) order regardless of argument order.
-    ordered = tuple(
-        name for name in KNOWN_SCHEDULES if schedules is None or name in schedules
-    )
-    report = estimate_pipelines(
-        names=names,
-        stages=stages,
-        microbatches=microbatches,
-        schedules=ordered,
-        tokens=tokens,
-        device=cluster.device_spec,
-        topology=cluster.resolve(),
-        layers=layers,
-        settings=OverlapSettings(seed=seed),
-        reuse=reuse,
-        record_trace=record_trace,
-        partition=tuple(int(count) for count in partition) if partition is not None else None,
-    )
-    report.meta["smoke"] = smoke
-    return report
+    def build() -> PipelineReport:
+        nonlocal workloads, stages, microbatches, layers
+        from repro.workloads.e2e import workload_builders
+
+        cluster_spec = cluster or ClusterSpec()
+        defaults = PP_SMOKE if smoke else PP_DEFAULTS
+        if workloads is None:
+            workloads = defaults.get("workloads")
+        if stages is None:
+            stages = defaults["stages"]
+        if microbatches is None:
+            microbatches = defaults["microbatches"]
+        if layers is None:
+            layers = defaults.get("layers")
+        names = list(workloads) if workloads else sorted(workload_builders())
+        # Canonical (bubble-decreasing) order regardless of argument order.
+        ordered = tuple(
+            name for name in KNOWN_SCHEDULES if schedules is None or name in schedules
+        )
+        report = estimate_pipelines(
+            names=names,
+            stages=stages,
+            microbatches=microbatches,
+            schedules=ordered,
+            tokens=tokens,
+            device=cluster_spec.device_spec,
+            topology=cluster_spec.resolve(),
+            layers=layers,
+            settings=OverlapSettings(seed=seed),
+            reuse=reuse,
+            record_trace=record_trace,
+            partition=tuple(int(count) for count in partition) if partition is not None else None,
+        )
+        report.meta["smoke"] = smoke
+        return report
+
+    return _profiled("repro pp", profile, build)
 
 
 def serve(
@@ -188,6 +220,7 @@ def serve(
     cluster: ClusterSpec | None = None,
     seed: int = 0,
     smoke: bool = False,
+    profile: bool = False,
 ) -> ServeReport:
     """One online-serving simulation (the ``repro serve`` subcommand).
 
@@ -203,169 +236,175 @@ def serve(
     ``deadline``, ``admission_limit`` and ``warm_spares`` configure the
     resilience policy.  Faulted runs additionally simulate the fault-free
     reference arm so the report can state goodput-under-failure.
+    ``profile=True`` attaches an observability snapshot to the report.
     """
-    from repro.comm.topology import known_topologies
-    from repro.core.tuner import GemmShapeCache
-    from repro.faults import (
-        FaultInjector,
-        FaultPlan,
-        ResiliencePolicy,
-        RetryPolicy,
-        build_fault_preset,
-        parse_retry_policy,
-    )
-    from repro.serve import (
-        SLO,
-        PlanCache,
-        PoissonArrivals,
-        ServeConfig,
-        ServingSimulator,
-        TraceArrivals,
-        distribution_by_name,
-    )
-    from repro.serve.simulator import SERVE_MODELS, SMOKE_SCENARIO
 
-    scenario = {
-        "rate": rate,
-        "requests": requests,
-        "distribution": distribution,
-        "workload": workload,
-        "layers": layers,
-        "max_batch_tokens": max_batch_tokens,
-        "max_batch_size": max_batch_size,
-    }
-    defaults = dict(SMOKE_SCENARIO if smoke else SERVE_DEFAULTS)
-    if duration is not None:
-        # An explicit duration bounds the traffic by itself; do not cap it
-        # with the default request count too.
-        defaults.pop("requests")
-    for name, value in defaults.items():
-        if scenario[name] is None:
-            scenario[name] = value
-    if smoke:
-        baseline = True
-
-    if trace:
-        arrivals = TraceArrivals.from_jsonl(trace)
-        traffic = f"trace {trace}"
-    else:
-        arrivals = PoissonArrivals(
-            rate_rps=scenario["rate"],
-            distribution=distribution_by_name(scenario["distribution"]),
-            seed=seed,
-            num_requests=scenario["requests"],
-            duration_s=duration,
+    def build() -> ServeReport:
+        nonlocal baseline, cluster
+        from repro.comm.topology import known_topologies
+        from repro.core.tuner import GemmShapeCache
+        from repro.faults import (
+            FaultInjector,
+            FaultPlan,
+            ResiliencePolicy,
+            RetryPolicy,
+            build_fault_preset,
+            parse_retry_policy,
         )
-        traffic = (
-            f"poisson @ {scenario['rate']:g} req/s, "
-            f"{scenario['distribution']} lengths, seed {seed}"
+        from repro.serve import (
+            SLO,
+            PlanCache,
+            PoissonArrivals,
+            ServeConfig,
+            ServingSimulator,
+            TraceArrivals,
+            distribution_by_name,
         )
-    generated = arrivals.generate()
-    if not generated:
-        raise ValueError("the traffic generator produced no requests")
+        from repro.serve.simulator import SERVE_MODELS, SMOKE_SCENARIO
 
-    if faults is not None and fault_preset is not None:
-        raise ValueError("pass faults= or fault_preset=, not both")
-    fault_plan = None
-    if faults is not None:
-        fault_plan = faults if isinstance(faults, FaultPlan) else FaultPlan.load(faults)
-    elif fault_preset is not None:
-        horizon = max(request.arrival_time for request in generated)
-        fault_plan = build_fault_preset(
-            fault_preset, horizon=horizon if horizon > 0 else 1.0, seed=seed
+        scenario = {
+            "rate": rate,
+            "requests": requests,
+            "distribution": distribution,
+            "workload": workload,
+            "layers": layers,
+            "max_batch_tokens": max_batch_tokens,
+            "max_batch_size": max_batch_size,
+        }
+        defaults = dict(SMOKE_SCENARIO if smoke else SERVE_DEFAULTS)
+        if duration is not None:
+            # An explicit duration bounds the traffic by itself; do not cap it
+            # with the default request count too.
+            defaults.pop("requests")
+        for name, value in defaults.items():
+            if scenario[name] is None:
+                scenario[name] = value
+        if smoke:
+            baseline = True
+
+        if trace:
+            arrivals = TraceArrivals.from_jsonl(trace)
+            traffic = f"trace {trace}"
+        else:
+            arrivals = PoissonArrivals(
+                rate_rps=scenario["rate"],
+                distribution=distribution_by_name(scenario["distribution"]),
+                seed=seed,
+                num_requests=scenario["requests"],
+                duration_s=duration,
+            )
+            traffic = (
+                f"poisson @ {scenario['rate']:g} req/s, "
+                f"{scenario['distribution']} lengths, seed {seed}"
+            )
+        generated = arrivals.generate()
+        if not generated:
+            raise ValueError("the traffic generator produced no requests")
+
+        if faults is not None and fault_preset is not None:
+            raise ValueError("pass faults= or fault_preset=, not both")
+        fault_plan = None
+        if faults is not None:
+            fault_plan = faults if isinstance(faults, FaultPlan) else FaultPlan.load(faults)
+        elif fault_preset is not None:
+            horizon = max(request.arrival_time for request in generated)
+            fault_plan = build_fault_preset(
+                fault_preset, horizon=horizon if horizon > 0 else 1.0, seed=seed
+            )
+
+        if isinstance(retry_policy, str):
+            retry = parse_retry_policy(retry_policy, seed=seed)
+        elif retry_policy is None:
+            retry = RetryPolicy(seed=seed)
+        else:
+            retry = retry_policy
+        policy = None
+        if (
+            fault_plan is not None
+            or retry_policy is not None
+            or deadline is not None
+            or admission_limit is not None
+            or warm_spares
+        ):
+            policy = ResiliencePolicy(
+                retry=retry,
+                deadline_s=deadline,
+                admission_limit=admission_limit,
+                warm_spares=warm_spares,
+                failover_delay_s=failover_delay,
+            )
+        injector = FaultInjector(fault_plan, policy) if fault_plan is not None else None
+
+        cluster = cluster or ClusterSpec(gpus=4)
+        # Serving needs a concrete interconnect: a paper-default spec lands on
+        # the historical `repro serve` default (a800-nvlink x 4).
+        topology = cluster.resolve()
+        if topology is None:
+            topology = known_topologies()["a800-nvlink"].with_n_gpus(4)
+
+        settings = OverlapSettings(seed=seed)
+        config = ServeConfig(
+            model=SERVE_MODELS[scenario["workload"]],
+            device=cluster.device_spec,
+            topology=topology,
+            layers=scenario["layers"],
+            max_batch_tokens=scenario["max_batch_tokens"],
+            max_batch_size=scenario["max_batch_size"],
+            settings=settings,
         )
+        warm = GemmShapeCache.load(warm_cache, missing_ok=True) if warm_cache else None
+        cache = PlanCache(settings, capacity=plan_cache, warm_start=warm,
+                          min_bucket=config.min_bucket)
+        slo = SLO(ttft_s=slo_ttft, tpot_s=slo_tpot)
 
-    if isinstance(retry_policy, str):
-        retry = parse_retry_policy(retry_policy, seed=seed)
-    elif retry_policy is None:
-        retry = RetryPolicy(seed=seed)
-    else:
-        retry = retry_policy
-    policy = None
-    if (
-        fault_plan is not None
-        or retry_policy is not None
-        or deadline is not None
-        or admission_limit is not None
-        or warm_spares
-    ):
-        policy = ResiliencePolicy(
-            retry=retry,
-            deadline_s=deadline,
-            admission_limit=admission_limit,
-            warm_spares=warm_spares,
-            failover_delay_s=failover_delay,
-        )
-    injector = FaultInjector(fault_plan, policy) if fault_plan is not None else None
-
-    cluster = cluster or ClusterSpec(gpus=4)
-    # Serving needs a concrete interconnect: a paper-default spec lands on
-    # the historical `repro serve` default (a800-nvlink x 4).
-    topology = cluster.resolve()
-    if topology is None:
-        topology = known_topologies()["a800-nvlink"].with_n_gpus(4)
-
-    settings = OverlapSettings(seed=seed)
-    config = ServeConfig(
-        model=SERVE_MODELS[scenario["workload"]],
-        device=cluster.device_spec,
-        topology=topology,
-        layers=scenario["layers"],
-        max_batch_tokens=scenario["max_batch_tokens"],
-        max_batch_size=scenario["max_batch_size"],
-        settings=settings,
-    )
-    warm = GemmShapeCache.load(warm_cache, missing_ok=True) if warm_cache else None
-    cache = PlanCache(settings, capacity=plan_cache, warm_start=warm,
-                      min_bucket=config.min_bucket)
-    slo = SLO(ttft_s=slo_ttft, tpot_s=slo_tpot)
-
-    overlap = ServingSimulator(
-        config, plan_cache=cache, mode="overlap", faults=injector, resilience=policy
-    ).run(generated)
-    baseline_result = None
-    if baseline:
-        # The baseline arm rides the same fault timeline so the overlap
-        # comparison stays like-for-like.
-        baseline_result = ServingSimulator(
-            config, mode="non-overlap", faults=injector, resilience=policy
+        overlap = ServingSimulator(
+            config, plan_cache=cache, mode="overlap", faults=injector, resilience=policy
         ).run(generated)
-    fault_free_result = None
-    if injector is not None:
-        fault_free_result = ServingSimulator(
-            config,
-            plan_cache=PlanCache(settings, capacity=plan_cache, warm_start=warm,
-                                 min_bucket=config.min_bucket),
-            mode="overlap",
-        ).run(generated)
-    if warm_cache and warm is not None:
-        warm.save(warm_cache)
+        baseline_result = None
+        if baseline:
+            # The baseline arm rides the same fault timeline so the overlap
+            # comparison stays like-for-like.
+            baseline_result = ServingSimulator(
+                config, mode="non-overlap", faults=injector, resilience=policy
+            ).run(generated)
+        fault_free_result = None
+        if injector is not None:
+            fault_free_result = ServingSimulator(
+                config,
+                plan_cache=PlanCache(settings, capacity=plan_cache, warm_start=warm,
+                                     min_bucket=config.min_bucket),
+                mode="overlap",
+            ).run(generated)
+        if warm_cache and warm is not None:
+            warm.save(warm_cache)
 
-    return ServeReport(
-        config=config,
-        slo=slo,
-        overlap=overlap,
-        baseline=baseline_result,
-        traffic=traffic,
-        num_requests=len(generated),
-        fault_free=fault_free_result,
-        meta={
-            "workload": scenario["workload"],
-            "cluster": cluster.to_dict(),
-            "layers": scenario["layers"],
-            "max_batch_tokens": scenario["max_batch_tokens"],
-            "max_batch_size": scenario["max_batch_size"],
-            "plan_cache": plan_cache,
-            "traffic": traffic,
-            "requests": len(generated),
-            "slo": {"ttft_s": slo.ttft_s, "tpot_s": slo.tpot_s},
-            "baseline": bool(baseline),
-            "faults": fault_plan.to_dict() if fault_plan is not None else None,
-            "resilience": policy.to_dict() if policy is not None else None,
-            "seed": seed,
-            "smoke": smoke,
-        },
-    )
+        return ServeReport(
+            config=config,
+            slo=slo,
+            overlap=overlap,
+            baseline=baseline_result,
+            traffic=traffic,
+            num_requests=len(generated),
+            fault_free=fault_free_result,
+            meta={
+                "workload": scenario["workload"],
+                "cluster": cluster.to_dict(),
+                "layers": scenario["layers"],
+                "max_batch_tokens": scenario["max_batch_tokens"],
+                "max_batch_size": scenario["max_batch_size"],
+                "plan_cache": plan_cache,
+                "traffic": traffic,
+                "requests": len(generated),
+                "slo": {"ttft_s": slo.ttft_s, "tpot_s": slo.tpot_s},
+                "baseline": bool(baseline),
+                "faults": fault_plan.to_dict() if fault_plan is not None else None,
+                "resilience": policy.to_dict() if policy is not None else None,
+                "seed": seed,
+                "smoke": smoke,
+            },
+        )
+
+    return _profiled("repro serve", profile, build)
 
 
 def sweep(
@@ -378,65 +417,74 @@ def sweep(
     cache: str | None = None,
     baselines: bool = False,
     group_by: Sequence[str] = DEFAULT_GROUP_KEYS,
+    heartbeat_s: float = 0.0,
+    profile: bool = False,
 ) -> SweepReport:
     """Fan a scenario matrix out into a JSONL store (the ``repro sweep`` subcommand).
 
     Exactly one of ``presets`` (named matrices) or ``config`` (path of a
     ScenarioMatrix JSON) must be given.  Raises :class:`KeyError` /
     :class:`ValueError` / :class:`OSError` on bad presets, group keys or
-    config files -- the CLI maps those onto exit code 2.
+    config files -- the CLI maps those onto exit code 2.  ``heartbeat_s``
+    emits periodic progress lines (done/total, retries, quarantines, ETA)
+    while jobs run; ``profile=True`` attaches an observability snapshot.
     """
-    from repro.core.tuner import GemmShapeCache
-    from repro.sweep import (
-        ResultStore,
-        Scenario,
-        ScenarioMatrix,
-        SweepRunner,
-        matrix_from_preset,
-    )
 
-    if bool(presets) == bool(config):
-        raise ValueError("exactly one of presets= or config= must be given")
-    if config:
-        payload = json.loads(Path(config).read_text(encoding="utf-8"))
-        matrices = [ScenarioMatrix.from_dict(payload)]
-    else:
-        matrices = [matrix_from_preset(name) for name in presets]
-
-    group_keys = tuple(group_by)
-    scenario_fields = set(Scenario.__dataclass_fields__)
-    unknown_keys = [key for key in group_keys if key not in scenario_fields]
-    if unknown_keys:
-        raise ValueError(
-            f"unknown group-by fields {unknown_keys}; known: {sorted(scenario_fields)}"
+    def build() -> SweepReport:
+        from repro.core.tuner import GemmShapeCache
+        from repro.sweep import (
+            ResultStore,
+            Scenario,
+            ScenarioMatrix,
+            SweepRunner,
+            matrix_from_preset,
         )
 
-    warm = GemmShapeCache.load(cache, missing_ok=True) if cache else None
-    store = ResultStore(out)
-    runner = SweepRunner(
-        store,
-        workers=workers,
-        resume=resume,
-        cache=warm,
-        cache_path=cache,
-        baselines=baselines,
-    )
-    summaries = [(matrix.name, runner.run(matrix)) for matrix in matrices]
-    return SweepReport(
-        summaries=summaries,
-        group_keys=group_keys,
-        meta={
-            "matrices": [name for name, _ in summaries],
-            "out": str(store.path),
-            "completed_jobs": len(store.completed_ids()),
-            "workers": workers,
-            "resume": resume,
-            "baselines": baselines,
-            "cache": cache,
-            "cache_entries": len(runner.cache) if cache else None,
-            "group_by": list(group_keys),
-        },
-    )
+        if bool(presets) == bool(config):
+            raise ValueError("exactly one of presets= or config= must be given")
+        if config:
+            payload = json.loads(Path(config).read_text(encoding="utf-8"))
+            matrices = [ScenarioMatrix.from_dict(payload)]
+        else:
+            matrices = [matrix_from_preset(name) for name in presets]
+
+        group_keys = tuple(group_by)
+        scenario_fields = set(Scenario.__dataclass_fields__)
+        unknown_keys = [key for key in group_keys if key not in scenario_fields]
+        if unknown_keys:
+            raise ValueError(
+                f"unknown group-by fields {unknown_keys}; known: {sorted(scenario_fields)}"
+            )
+
+        warm = GemmShapeCache.load(cache, missing_ok=True) if cache else None
+        store = ResultStore(out)
+        runner = SweepRunner(
+            store,
+            workers=workers,
+            resume=resume,
+            cache=warm,
+            cache_path=cache,
+            baselines=baselines,
+            heartbeat_s=heartbeat_s,
+        )
+        summaries = [(matrix.name, runner.run(matrix)) for matrix in matrices]
+        return SweepReport(
+            summaries=summaries,
+            group_keys=group_keys,
+            meta={
+                "matrices": [name for name, _ in summaries],
+                "out": str(store.path),
+                "completed_jobs": len(store.completed_ids()),
+                "workers": workers,
+                "resume": resume,
+                "baselines": baselines,
+                "cache": cache,
+                "cache_entries": len(runner.cache) if cache else None,
+                "group_by": list(group_keys),
+            },
+        )
+
+    return _profiled("repro sweep", profile, build)
 
 
 def plan(
@@ -455,6 +503,7 @@ def plan(
     deadline: float | None = None,
     seed: int = 0,
     smoke: bool = False,
+    profile: bool = False,
 ):
     """Joint auto-parallelism search (the ``repro plan`` subcommand).
 
@@ -465,36 +514,42 @@ def plan(
     ``smoke=True`` fills arguments left at ``None`` with the CI-sized space
     in :data:`PLAN_SMOKE`.  ``deadline`` caps the wall-clock seconds the
     pricing loop may spend; a truncated search returns the best-so-far
-    frontier with ``space["truncated"]`` set.
+    frontier with ``space["truncated"]`` set.  ``profile=True`` attaches an
+    observability snapshot (phase spans, plan-store and prune counters).
     """
-    from repro.plan import PLAN_METHODS, search_plan
 
-    cluster = cluster or ClusterSpec(gpus=8)
-    if smoke:
-        if layers is None:
-            layers = PLAN_SMOKE["layers"]
-        if tp_degrees is None:
-            tp_degrees = PLAN_SMOKE["tp_degrees"]
-        if microbatch_counts is None:
-            microbatch_counts = PLAN_SMOKE["microbatch_counts"]
-    report = search_plan(
-        workload=workload,
-        cluster=cluster,
-        tokens=tokens,
-        layers=layers,
-        tp_degrees=tuple(tp_degrees) if tp_degrees is not None else None,
-        microbatch_counts=(
-            tuple(microbatch_counts) if microbatch_counts is not None else None
-        ),
-        schedules=tuple(
-            name for name in KNOWN_SCHEDULES if schedules is None or name in schedules
-        ),
-        methods=tuple(methods) if methods is not None else PLAN_METHODS,
-        settings=OverlapSettings(seed=seed),
-        layer_weights=tuple(layer_weights) if layer_weights is not None else None,
-        max_configs=max_configs,
-        prune=prune,
-        deadline_s=deadline,
-    )
-    report.meta["smoke"] = smoke
-    return report
+    def build():
+        nonlocal layers, tp_degrees, microbatch_counts
+        from repro.plan import PLAN_METHODS, search_plan
+
+        cluster_spec = cluster or ClusterSpec(gpus=8)
+        if smoke:
+            if layers is None:
+                layers = PLAN_SMOKE["layers"]
+            if tp_degrees is None:
+                tp_degrees = PLAN_SMOKE["tp_degrees"]
+            if microbatch_counts is None:
+                microbatch_counts = PLAN_SMOKE["microbatch_counts"]
+        report = search_plan(
+            workload=workload,
+            cluster=cluster_spec,
+            tokens=tokens,
+            layers=layers,
+            tp_degrees=tuple(tp_degrees) if tp_degrees is not None else None,
+            microbatch_counts=(
+                tuple(microbatch_counts) if microbatch_counts is not None else None
+            ),
+            schedules=tuple(
+                name for name in KNOWN_SCHEDULES if schedules is None or name in schedules
+            ),
+            methods=tuple(methods) if methods is not None else PLAN_METHODS,
+            settings=OverlapSettings(seed=seed),
+            layer_weights=tuple(layer_weights) if layer_weights is not None else None,
+            max_configs=max_configs,
+            prune=prune,
+            deadline_s=deadline,
+        )
+        report.meta["smoke"] = smoke
+        return report
+
+    return _profiled("repro plan", profile, build)

@@ -13,8 +13,10 @@ differ per subcommand.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
+from repro import obs
 from repro.cluster import ClusterSpec
 from repro.comm.topology import known_topologies
 from repro.core.config import OverlapProblem, OverlapSettings
@@ -26,12 +28,15 @@ __all__ = [
     "add_json_argument",
     "add_multinode_arguments",
     "add_problem_arguments",
+    "add_profile_arguments",
     "add_seed_argument",
     "add_smoke_argument",
     "cluster_from_args",
     "command_error",
+    "finish_profile",
     "plan_store_line",
     "problem_from_args",
+    "profile_scope",
     "settings_from_args",
     "topology_from_args",
     "write_json_report",
@@ -139,6 +144,68 @@ def write_json_report(report, path: str) -> None:
     """Persist a ReportMixin report; the ``--json`` flag of every subcommand."""
     target = report.save_json(path)
     print(f"report     : {target}")
+
+
+def add_profile_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags of every subcommand."""
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-phase wall-time table and a metrics "
+                             "snapshot after the run")
+    parser.add_argument("--profile-json", type=str, default=None, metavar="PATH",
+                        help="write the profile snapshot (spans, phases, metrics) "
+                             "to a JSON file; implies instrumentation is on")
+
+
+@contextlib.contextmanager
+def profile_scope(args: argparse.Namespace, command: str):
+    """Observability session of one CLI invocation.
+
+    Yields the active :class:`~repro.obs.ObsSession` when ``--profile`` or
+    ``--profile-json`` was given, else ``None`` (all instrumentation stays
+    no-op).  The whole command runs inside a ``repro <command>`` root span.
+    When the command body raises, the flight-recorder ring buffer is dumped
+    to ``repro-<command>-flight.jsonl`` before the exception propagates, so
+    a crashed run leaves a post-mortem artifact.
+    """
+    wanted = getattr(args, "profile", False) or getattr(args, "profile_json", None)
+    if not wanted:
+        yield None
+        return
+    with obs.observe() as session:
+        try:
+            with obs.span(f"repro {command}"):
+                yield session
+        except Exception:
+            flight_path = f"repro-{command}-flight.jsonl"
+            obs.dump_flight(flight_path)
+            print(f"repro {command}: flight recorder dumped to {flight_path}",
+                  file=sys.stderr)
+            raise
+
+
+def finish_profile(args: argparse.Namespace, session, command: str, report=None) -> None:
+    """Snapshot the session; print/write per the ``--profile*`` flags.
+
+    Call right after the ``with profile_scope(...)`` block, so the root span
+    is already closed and the snapshot's phase rollup sees its full duration.
+    When ``report`` is given the snapshot is attached first, so a later
+    ``--json`` write carries the ``observability`` section.
+    """
+    if session is None:
+        return
+    snapshot = session.snapshot(command=f"repro {command}")
+    if report is not None:
+        report.attach_observability(snapshot)
+    if getattr(args, "profile", False):
+        print()
+        print(snapshot.phase_table())
+        metrics = snapshot.metrics_table()
+        if metrics:
+            print()
+            print(metrics)
+    target = getattr(args, "profile_json", None)
+    if target:
+        print(f"profile    : {snapshot.save(target)}")
 
 
 def plan_store_line(stats: dict, no_reuse: bool = False) -> str:

@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import argparse
 
-from repro.cli.common import add_problem_arguments, problem_from_args, settings_from_args
+from repro.cli.common import (
+    add_problem_arguments,
+    add_profile_arguments,
+    finish_profile,
+    problem_from_args,
+    profile_scope,
+    settings_from_args,
+)
 
 NAME = "compare"
 
@@ -12,16 +19,19 @@ NAME = "compare"
 def add_parser(sub) -> None:
     parser = sub.add_parser(NAME, help="compare FlashOverlap against the baselines")
     add_problem_arguments(parser)
+    add_profile_arguments(parser)
 
 
 def run(args: argparse.Namespace) -> int:
     from repro.analysis.speedup import compare_methods
 
-    problem = problem_from_args(args)
-    comparison = compare_methods(problem, settings=settings_from_args(args))
+    with profile_scope(args, NAME) as session:
+        problem = problem_from_args(args)
+        comparison = compare_methods(problem, settings=settings_from_args(args))
     print(f"problem: {problem.describe()}")
     width = max(len(name) for name in comparison.speedups)
     for name, speedup in sorted(comparison.speedups.items(), key=lambda kv: -kv[1]):
         print(f"  {name:<{width}} : {speedup:.3f}x")
     print(f"best method: {comparison.best_method()}")
+    finish_profile(args, session, NAME)
     return 0

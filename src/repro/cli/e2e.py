@@ -7,10 +7,13 @@ import argparse
 from repro.cli.common import (
     add_cluster_arguments,
     add_json_argument,
+    add_profile_arguments,
     add_seed_argument,
     add_smoke_argument,
     cluster_from_args,
+    finish_profile,
     plan_store_line,
+    profile_scope,
     write_json_report,
 )
 
@@ -44,21 +47,23 @@ def add_parser(sub) -> None:
     add_smoke_argument(parser,
                        "CI-sized run: paper shapes but 2 layers per model "
                        "(the committed golden fixtures and BENCH_e2e baseline)")
+    add_profile_arguments(parser)
 
 
 def run(args: argparse.Namespace) -> int:
     import repro.api as api
 
-    report = api.estimate(
-        args.workloads,
-        tokens=args.tokens,
-        layers=args.layers,
-        cluster=cluster_from_args(args),
-        seed=args.seed,
-        reuse=not args.no_reuse,
-        record_trace=bool(args.trace),
-        smoke=args.smoke,
-    )
+    with profile_scope(args, NAME) as session:
+        report = api.estimate(
+            args.workloads,
+            tokens=args.tokens,
+            layers=args.layers,
+            cluster=cluster_from_args(args),
+            seed=args.seed,
+            reuse=not args.no_reuse,
+            record_trace=bool(args.trace),
+            smoke=args.smoke,
+        )
 
     print(report.table())
     print()
@@ -67,14 +72,17 @@ def run(args: argparse.Namespace) -> int:
         print()
         print(report.operator_table(estimate))
     print("\n" + plan_store_line(report.plan_stats, args.no_reuse))
+    finish_profile(args, session, NAME, report)
 
     if args.trace:
         from pathlib import Path
 
         from repro.sim.trace_export import export_chrome_trace
 
+        obs_spans = report.profile.spans if report.profile is not None else None
         for estimate in report.estimates:
-            path = export_chrome_trace(estimate.trace, Path(f"{args.trace}-{estimate.name}.json"))
+            path = export_chrome_trace(estimate.trace, Path(f"{args.trace}-{estimate.name}.json"),
+                                       obs_spans=obs_spans)
             print(f"trace      : {path}")
     if args.json:
         write_json_report(report, args.json)

@@ -7,10 +7,13 @@ import argparse
 from repro.cli.common import (
     add_cluster_arguments,
     add_json_argument,
+    add_profile_arguments,
     add_seed_argument,
     add_smoke_argument,
     cluster_from_args,
     command_error,
+    finish_profile,
+    profile_scope,
     write_json_report,
 )
 
@@ -75,31 +78,34 @@ def add_parser(sub) -> None:
     add_smoke_argument(parser,
                        "CI-sized search space: 4 layers, TP and microbatches in "
                        "{2, 4, 8} (the committed BENCH_plan baseline)")
+    add_profile_arguments(parser)
 
 
 def run(args: argparse.Namespace) -> int:
     import repro.api as api
 
     try:
-        report = api.plan(
-            args.workload,
-            cluster=cluster_from_args(args),
-            tokens=args.tokens,
-            layers=args.layers,
-            tp_degrees=args.tp_degrees,
-            microbatch_counts=args.microbatch_counts,
-            schedules=args.schedules,
-            methods=args.methods,
-            max_configs=args.max_configs,
-            prune=not args.no_prune,
-            deadline=args.deadline,
-            seed=args.seed,
-            smoke=args.smoke,
-        )
+        with profile_scope(args, NAME) as session:
+            report = api.plan(
+                args.workload,
+                cluster=cluster_from_args(args),
+                tokens=args.tokens,
+                layers=args.layers,
+                tp_degrees=args.tp_degrees,
+                microbatch_counts=args.microbatch_counts,
+                schedules=args.schedules,
+                methods=args.methods,
+                max_configs=args.max_configs,
+                prune=not args.no_prune,
+                deadline=args.deadline,
+                seed=args.seed,
+                smoke=args.smoke,
+            )
     except ValueError as error:
         return command_error(NAME, error)
 
     print(report.summary_table())
+    finish_profile(args, session, NAME, report)
     winner = report.winner
     if winner is None:
         return command_error(NAME, "no feasible configuration was priced")
@@ -118,6 +124,7 @@ def run(args: argparse.Namespace) -> int:
         path = export_chrome_trace(
             trace, Path(f"{args.trace}-{winner.workload}-winner.json"),
             process_name=f"plan-{winner.workload}",
+            obs_spans=report.profile.spans if report.profile is not None else None,
         )
         print(f"trace      : {path}")
     if args.json:

@@ -7,11 +7,14 @@ import argparse
 from repro.cli.common import (
     add_cluster_arguments,
     add_json_argument,
+    add_profile_arguments,
     add_seed_argument,
     add_smoke_argument,
     cluster_from_args,
     command_error,
+    finish_profile,
     plan_store_line,
+    profile_scope,
     write_json_report,
 )
 
@@ -74,6 +77,7 @@ def add_parser(sub) -> None:
                        "CI-sized run for any flags not passed explicitly: "
                        "llama3-training, 2 stages, 4 microbatches, 4 layers "
                        "(the committed golden fixtures and BENCH_pp baseline)")
+    add_profile_arguments(parser)
 
 
 def _print_report(report, no_reuse: bool = False) -> None:
@@ -90,7 +94,7 @@ def _print_report(report, no_reuse: bool = False) -> None:
     print(plan_store_line(report.plan_stats, no_reuse))
 
 
-def _export_traces(report, prefix: str) -> None:
+def _export_traces(report, prefix: str, obs_spans: list | None = None) -> None:
     from pathlib import Path
 
     from repro.sim.trace_export import export_chrome_trace
@@ -100,6 +104,7 @@ def _export_traces(report, prefix: str) -> None:
             path = export_chrome_trace(
                 schedule.trace, Path(f"{prefix}-{estimate.name}-{schedule_name}.json"),
                 process_name=f"pipeline-{estimate.name}",
+                obs_spans=obs_spans,
             )
             print(f"trace      : {path}")
 
@@ -108,33 +113,36 @@ def run(args: argparse.Namespace) -> int:
     import repro.api as api
 
     try:
-        if args.plan:
-            from repro.plan import ParallelismPlan, replay_plan
+        with profile_scope(args, NAME) as session:
+            if args.plan:
+                from repro.plan import ParallelismPlan, replay_plan
 
-            plan = ParallelismPlan.load(args.plan)
-            print(f"replaying  : {plan.describe()}")
-            report = replay_plan(plan, record_trace=True)
-        else:
-            report = api.pp(
-                args.workloads,
-                stages=args.stages,
-                microbatches=args.microbatches,
-                schedules=args.schedules,
-                tokens=args.tokens,
-                layers=args.layers,
-                partition=args.partition,
-                cluster=cluster_from_args(args),
-                seed=args.seed,
-                reuse=not args.no_reuse,
-                record_trace=True,
-                smoke=args.smoke,
-            )
+                plan = ParallelismPlan.load(args.plan)
+                print(f"replaying  : {plan.describe()}")
+                report = replay_plan(plan, record_trace=True)
+            else:
+                report = api.pp(
+                    args.workloads,
+                    stages=args.stages,
+                    microbatches=args.microbatches,
+                    schedules=args.schedules,
+                    tokens=args.tokens,
+                    layers=args.layers,
+                    partition=args.partition,
+                    cluster=cluster_from_args(args),
+                    seed=args.seed,
+                    reuse=not args.no_reuse,
+                    record_trace=True,
+                    smoke=args.smoke,
+                )
     except (OSError, ValueError) as error:
         return command_error(NAME, error)
 
     _print_report(report, args.no_reuse)
+    finish_profile(args, session, NAME, report)
     if args.trace:
-        _export_traces(report, args.trace)
+        _export_traces(report, args.trace,
+                       report.profile.spans if report.profile is not None else None)
     if args.json:
         write_json_report(report, args.json)
     return 0

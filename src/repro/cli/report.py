@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import argparse
 
-from repro.cli.common import add_problem_arguments, problem_from_args, settings_from_args
+from repro.cli.common import (
+    add_problem_arguments,
+    add_profile_arguments,
+    finish_profile,
+    problem_from_args,
+    profile_scope,
+    settings_from_args,
+)
 
 NAME = "report"
 
@@ -12,15 +19,17 @@ NAME = "report"
 def add_parser(sub) -> None:
     parser = sub.add_parser(NAME, help="tune, simulate and print the speedup report")
     add_problem_arguments(parser)
+    add_profile_arguments(parser)
 
 
 def run(args: argparse.Namespace) -> int:
     from repro.core.overlap import FlashOverlapOperator
 
-    problem = problem_from_args(args)
-    operator = FlashOverlapOperator(problem, settings_from_args(args))
-    plan = operator.plan()
-    report = operator.report()
+    with profile_scope(args, NAME) as session:
+        problem = problem_from_args(args)
+        operator = FlashOverlapOperator(problem, settings_from_args(args))
+        plan = operator.plan()
+        report = operator.report()
     print(f"problem           : {problem.describe()}")
     print(f"waves             : {plan.partition.num_waves}")
     print(f"tuned partition   : {plan.partition}")
@@ -30,4 +39,5 @@ def run(args: argparse.Namespace) -> int:
     print(f"theoretical bound : {report.theoretical_latency * 1e3:.3f} ms")
     print(f"speedup           : {report.speedup:.3f}x "
           f"({report.ratio_of_theoretical * 100:.1f}% of theoretical)")
+    finish_profile(args, session, NAME)
     return 0

@@ -7,10 +7,13 @@ import argparse
 from repro.cli.common import (
     add_cluster_arguments,
     add_json_argument,
+    add_profile_arguments,
     add_seed_argument,
     add_smoke_argument,
     cluster_from_args,
     command_error,
+    finish_profile,
+    profile_scope,
     write_json_report,
 )
 
@@ -80,42 +83,45 @@ def add_parser(sub) -> None:
     add_smoke_argument(parser,
                        "CI-sized defaults for any flags not passed explicitly "
                        "(short summarization burst on the small model); implies --baseline")
+    add_profile_arguments(parser)
 
 
 def run(args: argparse.Namespace) -> int:
     import repro.api as api
 
     try:
-        report = api.serve(
-            rate=args.rate,
-            requests=args.requests,
-            duration=args.duration,
-            distribution=args.distribution,
-            trace=args.trace,
-            workload=args.workload,
-            layers=args.layers,
-            max_batch_tokens=args.max_batch_tokens,
-            max_batch_size=args.max_batch_size,
-            plan_cache=args.plan_cache,
-            warm_cache=args.warm_cache,
-            baseline=args.baseline,
-            slo_ttft=args.slo_ttft,
-            slo_tpot=args.slo_tpot,
-            faults=args.faults,
-            fault_preset=args.fault_preset,
-            retry_policy=args.retry_policy,
-            deadline=args.deadline,
-            admission_limit=args.admission_limit,
-            warm_spares=args.warm_spares,
-            failover_delay=args.failover_delay,
-            cluster=cluster_from_args(args),
-            seed=args.seed,
-            smoke=args.smoke,
-        )
+        with profile_scope(args, NAME) as session:
+            report = api.serve(
+                rate=args.rate,
+                requests=args.requests,
+                duration=args.duration,
+                distribution=args.distribution,
+                trace=args.trace,
+                workload=args.workload,
+                layers=args.layers,
+                max_batch_tokens=args.max_batch_tokens,
+                max_batch_size=args.max_batch_size,
+                plan_cache=args.plan_cache,
+                warm_cache=args.warm_cache,
+                baseline=args.baseline,
+                slo_ttft=args.slo_ttft,
+                slo_tpot=args.slo_tpot,
+                faults=args.faults,
+                fault_preset=args.fault_preset,
+                retry_policy=args.retry_policy,
+                deadline=args.deadline,
+                admission_limit=args.admission_limit,
+                warm_spares=args.warm_spares,
+                failover_delay=args.failover_delay,
+                cluster=cluster_from_args(args),
+                seed=args.seed,
+                smoke=args.smoke,
+            )
     except ValueError as error:
         return command_error(NAME, error)
 
     print(report.summary_table())
+    finish_profile(args, session, NAME, report)
     if args.json:
         write_json_report(report, args.json)
     return 0

@@ -5,7 +5,14 @@ from __future__ import annotations
 import argparse
 import json
 
-from repro.cli.common import add_json_argument, command_error, write_json_report
+from repro.cli.common import (
+    add_json_argument,
+    add_profile_arguments,
+    command_error,
+    finish_profile,
+    profile_scope,
+    write_json_report,
+)
 
 NAME = "sweep"
 
@@ -33,7 +40,11 @@ def add_parser(sub) -> None:
                         help="also evaluate every baseline method per scenario (slower)")
     parser.add_argument("--group-by", type=str, default="workload,collective,topology",
                         help="comma-separated scenario fields of the summary rollup")
+    parser.add_argument("--heartbeat", type=float, default=0.0, metavar="S",
+                        help="print progress lines (done/total, retries, quarantines, "
+                             "ETA) to stderr every S seconds (0 disables)")
     add_json_argument(parser, "write the summaries and per-job records to a JSON file")
+    add_profile_arguments(parser)
 
 
 def run(args: argparse.Namespace) -> int:
@@ -48,16 +59,18 @@ def run(args: argparse.Namespace) -> int:
 
     group_keys = tuple(key.strip() for key in args.group_by.split(",") if key.strip())
     try:
-        report = api.sweep(
-            args.presets,
-            config=args.config,
-            out=args.out,
-            workers=args.workers,
-            resume=args.resume,
-            cache=args.cache,
-            baselines=args.baselines,
-            group_by=group_keys,
-        )
+        with profile_scope(args, NAME) as session:
+            report = api.sweep(
+                args.presets,
+                config=args.config,
+                out=args.out,
+                workers=args.workers,
+                resume=args.resume,
+                cache=args.cache,
+                baselines=args.baselines,
+                group_by=group_keys,
+                heartbeat_s=args.heartbeat,
+            )
     except (KeyError, ValueError, OSError, json.JSONDecodeError) as error:
         return command_error(NAME, error)
 
@@ -66,6 +79,7 @@ def run(args: argparse.Namespace) -> int:
     print(f"\nresults  : {meta['out']} ({meta['completed_jobs']} completed jobs)")
     if args.cache:
         print(f"cache    : {args.cache} ({meta['cache_entries']} entries)")
+    finish_profile(args, session, NAME, report)
     if args.json:
         write_json_report(report, args.json)
     return 1 if report.failed else 0

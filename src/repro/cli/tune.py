@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import argparse
 
-from repro.cli.common import add_problem_arguments, problem_from_args, settings_from_args
+from repro.cli.common import (
+    add_problem_arguments,
+    add_profile_arguments,
+    finish_profile,
+    problem_from_args,
+    profile_scope,
+    settings_from_args,
+)
 
 NAME = "tune"
 
@@ -14,6 +21,7 @@ def add_parser(sub) -> None:
     add_problem_arguments(parser)
     parser.add_argument("--cache", type=str, default=None,
                         help="JSON shape-cache file to read/update with the tuned result")
+    add_profile_arguments(parser)
 
 
 def run(args: argparse.Namespace) -> int:
@@ -21,19 +29,22 @@ def run(args: argparse.Namespace) -> int:
 
     from repro.core.tuner import GemmShapeCache, PredictiveTuner
 
-    problem = problem_from_args(args)
-    settings = settings_from_args(args)
-    tuner = PredictiveTuner(settings)
-    if args.cache:
-        cache = GemmShapeCache.load(args.cache) if Path(args.cache).exists() else GemmShapeCache()
-        result = cache.lookup_or_tune(problem, tuner)
-        cache.save(args.cache)
-        print(f"cache             : {args.cache} ({len(cache)} entries)")
-    else:
-        result = tuner.tune(problem)
+    with profile_scope(args, NAME) as session:
+        problem = problem_from_args(args)
+        settings = settings_from_args(args)
+        tuner = PredictiveTuner(settings)
+        if args.cache:
+            cache = (GemmShapeCache.load(args.cache) if Path(args.cache).exists()
+                     else GemmShapeCache())
+            result = cache.lookup_or_tune(problem, tuner)
+            cache.save(args.cache)
+            print(f"cache             : {args.cache} ({len(cache)} entries)")
+        else:
+            result = tuner.tune(problem)
     print(f"problem           : {problem.describe()}")
     print(f"partition         : {result.partition}")
     print(f"predicted latency : {result.predicted_latency * 1e3:.3f} ms")
     print(f"candidates        : {result.candidates_evaluated}")
     print(f"mode              : {'overlap' if result.use_overlap else 'sequential fallback'}")
+    finish_profile(args, session, NAME)
     return 0

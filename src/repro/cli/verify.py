@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import argparse
 
-from repro.cli.common import add_multinode_arguments, add_seed_argument, topology_from_args
+from repro.cli.common import (
+    add_multinode_arguments,
+    add_profile_arguments,
+    add_seed_argument,
+    finish_profile,
+    profile_scope,
+    topology_from_args,
+)
 from repro.comm.topology import known_topologies
 
 NAME = "verify"
@@ -19,6 +26,7 @@ def add_parser(sub) -> None:
     parser.add_argument("--gpus", type=int, default=4)
     add_seed_argument(parser)
     add_multinode_arguments(parser)
+    add_profile_arguments(parser)
 
 
 def run(args: argparse.Namespace) -> int:
@@ -28,18 +36,21 @@ def run(args: argparse.Namespace) -> int:
     from repro.gpu.device import GPUSpec
     from repro.gpu.gemm import GemmShape, GemmTileConfig
 
-    device = GPUSpec(name="tiny-gpu", sm_count=8, fp16_tflops=4.0, hbm_bandwidth_gbps=200.0)
-    topology = topology_from_args(args)
-    problem = OverlapProblem(
-        shape=GemmShape(m=64, n=48, k=32),
-        device=device,
-        topology=topology,
-        collective=CollectiveKind.from_name(args.collective),
-        gemm_config=GemmTileConfig(tile_m=8, tile_n=8, tile_k=8, swizzle_size=2),
-    )
-    operator = FlashOverlapOperator(problem, OverlapSettings(seed=args.seed))
-    result = operator.run_numeric()
+    with profile_scope(args, NAME) as session:
+        device = GPUSpec(name="tiny-gpu", sm_count=8, fp16_tflops=4.0,
+                         hbm_bandwidth_gbps=200.0)
+        topology = topology_from_args(args)
+        problem = OverlapProblem(
+            shape=GemmShape(m=64, n=48, k=32),
+            device=device,
+            topology=topology,
+            collective=CollectiveKind.from_name(args.collective),
+            gemm_config=GemmTileConfig(tile_m=8, tile_n=8, tile_k=8, swizzle_size=2),
+        )
+        operator = FlashOverlapOperator(problem, OverlapSettings(seed=args.seed))
+        result = operator.run_numeric()
     status = "all close" if result.allclose() else "MISMATCH"
     print(f"{problem.collective.short_name} on {topology.n_gpus} simulated GPUs "
           f"({topology.name}): {status} (max |error| = {result.max_abs_error():.3e})")
+    finish_profile(args, session, NAME)
     return 0 if result.allclose() else 1

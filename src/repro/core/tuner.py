@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import DEFAULT_SETTINGS, OverlapProblem, OverlapSettings
 from repro.core.executor import OverlapExecutor
 from repro.core.predictor import LatencyPredictor, OfflineProfile
@@ -71,9 +72,15 @@ class PredictiveTuner:
         )
 
     def tune(self, problem: OverlapProblem, profile: OfflineProfile | None = None) -> TuningResult:
+        with obs.span("tuner.tune", method="predictive"):
+            return self._tune(problem, profile)
+
+    def _tune(self, problem: OverlapProblem, profile: OfflineProfile | None) -> TuningResult:
         profile = profile or OfflineProfile.cached(problem, self.settings)
         predictor = LatencyPredictor(profile, total_bytes=problem.output_bytes())
         candidates = self.candidates(profile.num_waves)
+        obs.counter("tuner.invocations", method="predictive").inc()
+        obs.counter("tuner.candidates", method="predictive").inc(len(candidates))
         if self.vectorized:
             latencies = predictor.predict_batch(candidate_partitions_matrix(candidates))
             index = int(np.argmin(latencies))
@@ -118,6 +125,10 @@ class ExhaustiveTuner:
         self.incremental = incremental
 
     def tune(self, problem: OverlapProblem, executor: OverlapExecutor | None = None) -> TuningResult:
+        with obs.span("tuner.tune", method="exhaustive"):
+            return self._tune(problem, executor)
+
+    def _tune(self, problem: OverlapProblem, executor: OverlapExecutor | None) -> TuningResult:
         executor = executor or OverlapExecutor(problem, self.settings)
         num_waves = executor.num_waves()
         candidates = candidate_partitions(
@@ -126,6 +137,8 @@ class ExhaustiveTuner:
             max_last_group=self.settings.max_last_group,
             max_exhaustive_waves=self.settings.max_exhaustive_waves,
         )
+        obs.counter("tuner.invocations", method="exhaustive").inc()
+        obs.counter("tuner.candidates", method="exhaustive").inc(len(candidates))
         if self.incremental:
             best, best_latency = self._tune_incremental(executor, candidates)
         else:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.config import DEFAULT_SETTINGS, OverlapSettings
 from repro.gpu.kernels import KernelCategory
 from repro.plans import CachedPlan, PlanCache
@@ -264,6 +265,10 @@ class EndToEndEstimator:
 
     def estimate(self, workload: EndToEndWorkload, record_trace: bool = False) -> WorkloadEstimate:
         """Tune-once / reuse-everywhere estimate of one workload."""
+        with obs.span("e2e.estimate", workload=workload.name):
+            return self._estimate(workload, record_trace)
+
+    def _estimate(self, workload: EndToEndWorkload, record_trace: bool) -> WorkloadEstimate:
         if workload.settings != self.settings:
             raise ValueError(
                 f"workload {workload.name!r} carries different OverlapSettings than "
@@ -276,13 +281,15 @@ class EndToEndEstimator:
         # Resolve each operator once per layer occurrence so the hit/miss
         # stats reflect the reuse structure (layer 2+ of an identical layer
         # hits the store), while the simulated latencies stay exact.
-        per_layer = [self._resolve(op)[0] for op in workload.operators]
-        for _ in range(workload.layers - 1):
-            for op in workload.operators:
-                if op.problem is not None:
-                    self.plan_store.lookup(op.problem)
+        with obs.span("e2e.price"):
+            per_layer = [self._resolve(op)[0] for op in workload.operators]
+            for _ in range(workload.layers - 1):
+                for op in workload.operators:
+                    if op.problem is not None:
+                        self.plan_store.lookup(op.problem)
 
-        overlap_total, trace = self._run_stream(per_layer, workload.layers, record_trace)
+        with obs.span("e2e.replay"):
+            overlap_total, trace = self._run_stream(per_layer, workload.layers, record_trace)
         non_overlap_total = 0.0
         theoretical_total = 0.0
         for _ in range(workload.layers):

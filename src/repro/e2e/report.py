@@ -96,11 +96,11 @@ class EndToEndReport(ReportMixin):
         return self.table()
 
     def to_dict(self) -> dict:
-        return {
+        return self._with_observability({
             "meta": self.meta,
             "workloads": {estimate.name: estimate.to_dict() for estimate in self.estimates},
             "plan_store": self.plan_stats,
-        }
+        })
 
 
 def estimate_models(

@@ -1,0 +1,41 @@
+"""Injectable clocks of the observability layer.
+
+Every timestamp the toolkit records flows through one of these clocks.  The
+:class:`SystemClock` wraps ``time.perf_counter`` and is the only place in
+``src/repro/`` allowed to call it (enforced by the banned-API lint rule and
+``tests/test_no_direct_time.py``); the :class:`FakeClock` advances by a fixed
+step per reading, so span trees and profile JSON are byte-stable in tests.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class SystemClock:
+    """Monotonic wall clock (``time.perf_counter``)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class FakeClock:
+    """Deterministic clock: every reading advances the time by ``step``.
+
+    A span that wraps no further clock readings therefore lasts exactly one
+    step, and nested spans consume ticks in tree order -- the same code path
+    always produces the same span tree, byte for byte.
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 1.0) -> None:
+        self._now = start
+        self.step = step
+
+    def now(self) -> float:
+        current = self._now
+        self._now += self.step
+        return current
+
+    def advance(self, seconds: float) -> None:
+        """Jump the clock forward without consuming a reading."""
+        self._now += seconds

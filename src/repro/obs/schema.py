@@ -1,0 +1,92 @@
+"""Validation of profile JSON against the checked-in schema.
+
+The container bakes no ``jsonschema`` package in, so this module implements
+the small JSON-Schema subset ``profile_schema.json`` actually uses: ``type``
+(single or list), ``required``, ``properties``, ``items``,
+``additionalProperties`` (as a schema), ``enum`` and local ``$ref`` into
+``#/definitions``.  The CI obs-smoke job runs it over every subcommand's
+``--profile-json`` output via ``python -m repro.obs.validate``.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import lru_cache
+from pathlib import Path
+
+__all__ = ["load_schema", "validate_instance", "validate_profile"]
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+@lru_cache(maxsize=1)
+def load_schema() -> dict:
+    """The committed profile schema (``profile_schema.json`` next to this module)."""
+    path = Path(__file__).with_name("profile_schema.json")
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _resolve_ref(ref: str, root: dict) -> dict:
+    if not ref.startswith("#/"):
+        raise ValueError(f"only local $ref is supported, got {ref!r}")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def _validate(value, schema: dict, root: dict, path: str, errors: list[str]) -> None:
+    ref = schema.get("$ref")
+    if ref is not None:
+        schema = _resolve_ref(ref, root)
+
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            errors.append(f"{path}: expected type {expected}, got {type(value).__name__}")
+            return
+
+    enum = schema.get("enum")
+    if enum is not None and value not in enum:
+        errors.append(f"{path}: {value!r} not in enum {enum}")
+
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                errors.append(f"{path}: missing required key {name!r}")
+        properties = schema.get("properties", {})
+        for name, subschema in properties.items():
+            if name in value:
+                _validate(value[name], subschema, root, f"{path}.{name}", errors)
+        additional = schema.get("additionalProperties")
+        if isinstance(additional, dict):
+            for name, item in value.items():
+                if name not in properties:
+                    _validate(item, additional, root, f"{path}.{name}", errors)
+
+    if isinstance(value, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for index, item in enumerate(value):
+                _validate(item, items, root, f"{path}[{index}]", errors)
+
+
+def validate_instance(value, schema: dict) -> list[str]:
+    """Validate ``value`` against ``schema``; returns the error list (empty = ok)."""
+    errors: list[str] = []
+    _validate(value, schema, schema, "$", errors)
+    return errors
+
+
+def validate_profile(payload: dict) -> list[str]:
+    """Validate one profile snapshot dict against the committed schema."""
+    return validate_instance(payload, load_schema())

@@ -1,0 +1,46 @@
+"""``python -m repro.obs.validate`` -- validate profile JSON files.
+
+Exit 0 when every file conforms to the committed profile schema, 1 with the
+per-file errors on stderr otherwise.  The CI obs-smoke job runs this over
+the ``--profile-json`` output of every subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.schema import validate_profile
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="validate --profile-json files against the committed schema",
+    )
+    parser.add_argument("paths", nargs="+", metavar="PROFILE_JSON")
+    args = parser.parse_args(argv)
+
+    failed = 0
+    for path in args.paths:
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"{path}: unreadable profile JSON: {error}", file=sys.stderr)
+            failed += 1
+            continue
+        errors = validate_profile(payload)
+        if errors:
+            failed += 1
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            phases = len(payload.get("phases", []))
+            print(f"{path}: ok ({phases} phases, command {payload.get('command')!r})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

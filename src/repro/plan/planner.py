@@ -34,11 +34,11 @@ asserts exact float equality, not tolerance).
 from __future__ import annotations
 
 import json
-import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
 from repro.cluster import ClusterSpec
 from repro.core.config import DEFAULT_SETTINGS, OverlapSettings
 from repro.e2e import estimate_models
@@ -266,7 +266,8 @@ def search_plan(
     priced best-bound-first, so when the budget runs out the report holds the
     best-so-far frontier, the remaining batches land in ``space["pruned"]``
     and ``space["truncated"]`` is set.  ``clock`` (default
-    :func:`time.monotonic`) exists so tests can drive the deadline with a
+    :func:`repro.obs.now`, so an active observability session's fake clock
+    drives the deadline too) exists so tests can drive the deadline with a
     fake clock.
     """
     cluster = cluster or ClusterSpec()
@@ -278,69 +279,32 @@ def search_plan(
         if method not in PLAN_METHODS:
             raise ValueError(f"unknown plan method {method!r}; known: {PLAN_METHODS}")
 
-    shells, skipped = enumerate_shells(cluster, tp_degrees, microbatch_counts)
-    hits_before, misses_before = estimator.plan_store.hits, estimator.plan_store.misses
+    # Search accounting is registered up front so the counters appear in every
+    # profile snapshot, even for searches that never prune or skip a batch.
+    evaluated_counter = obs.counter("plan.batches_evaluated")
+    pruned_counter = obs.counter("plan.batches_pruned")
+    skipped_counter = obs.counter("plan.batches_skipped")
 
     # -- expand shells into priced-workload batches (balanced + weighted) --------
-    batches: list[_Batch] = []
-    topologies: dict[int, object] = {}
-    for shell in shells:
-        if shell.tp not in topologies:
+    with obs.span("plan.enumerate", workload=workload) as enumerate_span:
+        shells, skipped = enumerate_shells(cluster, tp_degrees, microbatch_counts)
+        hits_before, misses_before = estimator.plan_store.hits, estimator.plan_store.misses
+        batches: list[_Batch] = []
+        topologies: dict[int, object] = {}
+        for shell in shells:
+            if shell.tp not in topologies:
+                try:
+                    topologies[shell.tp] = cluster.topology_for_tp(shell.tp)
+                except ValueError as error:
+                    topologies[shell.tp] = error
+            topology = topologies[shell.tp]
+            if isinstance(topology, Exception):
+                skipped.append(
+                    SkippedCandidate(shell.tp, shell.stages, shell.microbatches, str(topology))
+                )
+                continue
             try:
-                topologies[shell.tp] = cluster.topology_for_tp(shell.tp)
-            except ValueError as error:
-                topologies[shell.tp] = error
-        topology = topologies[shell.tp]
-        if isinstance(topology, Exception):
-            skipped.append(
-                SkippedCandidate(shell.tp, shell.stages, shell.microbatches, str(topology))
-            )
-            continue
-        try:
-            balanced = build_pipeline_workload(
-                workload,
-                stages=shell.stages,
-                microbatches=shell.microbatches,
-                tokens=tokens,
-                device=cluster.device_spec,
-                topology=topology,
-                layers=layers,
-                settings=settings,
-            )
-        except (KeyError, ValueError) as error:
-            skipped.append(
-                SkippedCandidate(shell.tp, shell.stages, shell.microbatches, str(error))
-            )
-            continue
-        # Per-layer costs through the shared plan store (cheap: the stream's
-        # shapes are cached after the first shell that produces them).  The
-        # registry stacks repeat one layer, so the derived weights are
-        # uniform unless the caller supplies heterogeneous ones.
-        costs = price_pipeline(balanced, estimator.e2e)
-        stage0 = costs.stages[0]
-        overlap0 = stage0.vector("overlap")
-        bound0 = stage0.vector("theoretical")
-        per_layer_overlap = (overlap0.forward + overlap0.dgrad + overlap0.wgrad) / stage0.layers
-        per_layer_bound = (bound0.forward + bound0.dgrad + bound0.wgrad) / stage0.layers
-        total_layers = balanced.microbatch.layers
-        weights = list(layer_weights) if layer_weights else [per_layer_overlap] * total_layers
-        if len(weights) != total_layers:
-            raise ValueError(
-                f"layer_weights has {len(weights)} entries for a "
-                f"{total_layers}-layer stack"
-            )
-        weighted = partition_layers_weighted(weights, shell.stages)
-
-        partitions = [(balanced.stage_layers, "balanced")]
-        if weighted != balanced.stage_layers:
-            partitions.append((weighted, "weighted"))
-        elif shell.stages > 1:
-            partitions = [(balanced.stage_layers, "balanced=weighted")]
-        for stage_layers, partitioner in partitions:
-            if stage_layers == balanced.stage_layers:
-                pipeline_workload = balanced
-            else:
-                pipeline_workload = build_pipeline_workload(
+                balanced = build_pipeline_workload(
                     workload,
                     stages=shell.stages,
                     microbatches=shell.microbatches,
@@ -349,27 +313,72 @@ def search_plan(
                     topology=topology,
                     layers=layers,
                     settings=settings,
-                    partition=stage_layers,
                 )
-            batches.append(
-                _Batch(
-                    tp=shell.tp,
-                    stages=shell.stages,
-                    microbatches=shell.microbatches,
-                    partition=stage_layers,
-                    partitioner=partitioner,
-                    workload=pipeline_workload,
-                    lb_latency=(
-                        shell.microbatches * per_layer_bound * max(stage_layers)
-                    ),
-                    lb_memory=_memory_lower_bound(
-                        schedules,
-                        stage_layers,
-                        shell.microbatches,
-                        pipeline_workload.activation_bytes,
-                    ),
+            except (KeyError, ValueError) as error:
+                skipped.append(
+                    SkippedCandidate(shell.tp, shell.stages, shell.microbatches, str(error))
                 )
-            )
+                continue
+            # Per-layer costs through the shared plan store (cheap: the stream's
+            # shapes are cached after the first shell that produces them).  The
+            # registry stacks repeat one layer, so the derived weights are
+            # uniform unless the caller supplies heterogeneous ones.
+            costs = price_pipeline(balanced, estimator.e2e)
+            stage0 = costs.stages[0]
+            overlap0 = stage0.vector("overlap")
+            bound0 = stage0.vector("theoretical")
+            per_layer_overlap = (overlap0.forward + overlap0.dgrad + overlap0.wgrad) / stage0.layers
+            per_layer_bound = (bound0.forward + bound0.dgrad + bound0.wgrad) / stage0.layers
+            total_layers = balanced.microbatch.layers
+            weights = list(layer_weights) if layer_weights else [per_layer_overlap] * total_layers
+            if len(weights) != total_layers:
+                raise ValueError(
+                    f"layer_weights has {len(weights)} entries for a "
+                    f"{total_layers}-layer stack"
+                )
+            weighted = partition_layers_weighted(weights, shell.stages)
+
+            partitions = [(balanced.stage_layers, "balanced")]
+            if weighted != balanced.stage_layers:
+                partitions.append((weighted, "weighted"))
+            elif shell.stages > 1:
+                partitions = [(balanced.stage_layers, "balanced=weighted")]
+            for stage_layers, partitioner in partitions:
+                if stage_layers == balanced.stage_layers:
+                    pipeline_workload = balanced
+                else:
+                    pipeline_workload = build_pipeline_workload(
+                        workload,
+                        stages=shell.stages,
+                        microbatches=shell.microbatches,
+                        tokens=tokens,
+                        device=cluster.device_spec,
+                        topology=topology,
+                        layers=layers,
+                        settings=settings,
+                        partition=stage_layers,
+                    )
+                batches.append(
+                    _Batch(
+                        tp=shell.tp,
+                        stages=shell.stages,
+                        microbatches=shell.microbatches,
+                        partition=stage_layers,
+                        partitioner=partitioner,
+                        workload=pipeline_workload,
+                        lb_latency=(
+                            shell.microbatches * per_layer_bound * max(stage_layers)
+                        ),
+                        lb_memory=_memory_lower_bound(
+                            schedules,
+                            stage_layers,
+                            shell.microbatches,
+                            pipeline_workload.activation_bytes,
+                        ),
+                    )
+                )
+        skipped_counter.inc(len(skipped))
+        enumerate_span.note(shells=len(shells), batches=len(batches), skipped=len(skipped))
 
     # -- price batches best-bound-first, pruning dominated ones ------------------
     points: list[PlanPoint] = []
@@ -377,60 +386,73 @@ def search_plan(
     pruned: list[dict] = []
     evaluated = 0
     truncated = False
-    clock = clock or time.monotonic
-    search_start = clock()
-    for batch in sorted(batches, key=lambda b: b.sort_key):
-        if deadline_s is not None and clock() - search_start >= deadline_s:
-            truncated = True
-            pruned.append(batch.skip_dict("wall-clock deadline exceeded"))
-            continue
-        if max_configs is not None and evaluated >= max_configs:
-            pruned.append(batch.skip_dict("search budget exhausted (max_configs)"))
-            continue
-        if prune and any(
-            p.step_latency <= batch.lb_latency and p.peak_activation_bytes <= batch.lb_memory
-            for p in points
-        ):
-            pruned.append(batch.skip_dict("dominated by a priced point (lower bounds)"))
-            continue
-        estimate = estimator.estimate(batch.workload, schedules=schedules)
-        estimates[(batch.tp, batch.stages, batch.microbatches, batch.partition)] = estimate
-        points.extend(_batch_points(batch, estimate, schedules, methods))
-        evaluated += 1
+    clock = clock or obs.now
+    with obs.span("plan.price") as price_span:
+        search_start = clock()
+        for batch in sorted(batches, key=lambda b: b.sort_key):
+            if deadline_s is not None and clock() - search_start >= deadline_s:
+                truncated = True
+                pruned.append(batch.skip_dict("wall-clock deadline exceeded"))
+                pruned_counter.inc()
+                continue
+            if max_configs is not None and evaluated >= max_configs:
+                pruned.append(batch.skip_dict("search budget exhausted (max_configs)"))
+                pruned_counter.inc()
+                continue
+            if prune and any(
+                p.step_latency <= batch.lb_latency and p.peak_activation_bytes <= batch.lb_memory
+                for p in points
+            ):
+                pruned.append(batch.skip_dict("dominated by a priced point (lower bounds)"))
+                pruned_counter.inc()
+                continue
+            with obs.span(
+                "plan.price_batch",
+                tp=batch.tp,
+                stages=batch.stages,
+                microbatches=batch.microbatches,
+            ):
+                estimate = estimator.estimate(batch.workload, schedules=schedules)
+            estimates[(batch.tp, batch.stages, batch.microbatches, batch.partition)] = estimate
+            points.extend(_batch_points(batch, estimate, schedules, methods))
+            evaluated += 1
+            evaluated_counter.inc()
+        price_span.note(evaluated=evaluated, pruned=len(pruned), truncated=truncated)
 
-    frontier = pareto_frontier(points)
-    winner_plan = None
-    if frontier:
-        winner = min(
-            points, key=lambda p: (p.step_latency, p.peak_activation_bytes, p.config_key)
-        )
-        estimate = estimates[(winner.tp, winner.stages, winner.microbatches, winner.partition)]
-        e2e = estimate.microbatch_estimate
-        winner_plan = ParallelismPlan(
-            workload=workload,
-            tokens=estimate.microbatch_tokens * winner.microbatches,
-            layers=layers,
-            cluster=cluster,
-            tp=winner.tp,
-            stages=winner.stages,
-            microbatches=winner.microbatches,
-            partition=winner.partition,
-            schedule=winner.schedule,
-            method=winner.method,
-            seed=settings.seed,
-            predicted={
-                "step_latency": winner.step_latency,
-                "peak_activation_bytes": winner.peak_activation_bytes,
-                "bubble_ratio": winner.bubble_ratio,
-                "speedup": winner.speedup,
-                "microbatch_tokens": estimate.microbatch_tokens,
-                "e2e": {
-                    "overlap_total": e2e.overlap_total,
-                    "non_overlap_total": e2e.non_overlap_total,
-                    "theoretical_total": e2e.theoretical_total,
+    with obs.span("plan.frontier"):
+        frontier = pareto_frontier(points)
+        winner_plan = None
+        if frontier:
+            winner = min(
+                points, key=lambda p: (p.step_latency, p.peak_activation_bytes, p.config_key)
+            )
+            estimate = estimates[(winner.tp, winner.stages, winner.microbatches, winner.partition)]
+            e2e = estimate.microbatch_estimate
+            winner_plan = ParallelismPlan(
+                workload=workload,
+                tokens=estimate.microbatch_tokens * winner.microbatches,
+                layers=layers,
+                cluster=cluster,
+                tp=winner.tp,
+                stages=winner.stages,
+                microbatches=winner.microbatches,
+                partition=winner.partition,
+                schedule=winner.schedule,
+                method=winner.method,
+                seed=settings.seed,
+                predicted={
+                    "step_latency": winner.step_latency,
+                    "peak_activation_bytes": winner.peak_activation_bytes,
+                    "bubble_ratio": winner.bubble_ratio,
+                    "speedup": winner.speedup,
+                    "microbatch_tokens": estimate.microbatch_tokens,
+                    "e2e": {
+                        "overlap_total": e2e.overlap_total,
+                        "non_overlap_total": e2e.non_overlap_total,
+                        "theoretical_total": e2e.theoretical_total,
+                    },
                 },
-            },
-        )
+            )
 
     lookups = (estimator.plan_store.hits - hits_before) + (
         estimator.plan_store.misses - misses_before

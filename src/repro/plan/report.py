@@ -99,11 +99,11 @@ class PlanSearchReport(ReportMixin):
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
-        return {
+        return self._with_observability({
             "meta": self.meta,
             "space": self.space,
             "points": [point.to_dict() for point in self.points],
             "frontier": [point.to_dict() for point in self.frontier],
             "winner": self.winner.to_dict() if self.winner is not None else None,
             "plan_store": self.plan_stats,
-        }
+        })

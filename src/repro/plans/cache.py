@@ -40,6 +40,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 
+from repro import obs
 from repro.core.baselines import NonOverlapBaseline
 from repro.core.config import DEFAULT_SETTINGS, OverlapProblem, OverlapSettings
 from repro.core.executor import OverlapExecutor
@@ -149,26 +150,36 @@ class PlanCache:
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
+            obs.counter("plan_store.hits").inc()
             self._entries.move_to_end(key)
             return entry
 
         self.misses += 1
+        obs.counter("plan_store.misses").inc()
         entry = self._build_plan(self.bucketed_problem(problem))
         if self.capacity > 0:
             self._entries[key] = entry
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                obs.counter("plan_store.evictions").inc()
         return entry
 
     def _build_plan(self, bucketed: OverlapProblem) -> CachedPlan:
+        shape = bucketed.shape
+        with obs.span("plan_store.build", m=shape.m, n=shape.n, k=shape.k):
+            return self._build_plan_inner(bucketed)
+
+    def _build_plan_inner(self, bucketed: OverlapProblem) -> CachedPlan:
         tuning = None
         if self.warm_start is not None:
             tuning = self.warm_start.lookup(bucketed, self.settings)
             if tuning is not None:
                 self.warm_start_hits += 1
+                obs.counter("plan_store.warm_start_hits").inc()
         if tuning is None:
             self.tuner_invocations += 1
+            obs.counter("plan_store.tuner_invocations").inc()
             tuning = self._tuner.tune(bucketed)
             if self.warm_start is not None:
                 self.warm_start.add(bucketed.shape, tuning)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.config import DEFAULT_SETTINGS, OverlapSettings
 from repro.e2e.estimator import EndToEndEstimator, WorkloadEstimate
 from repro.pp.pricing import METHODS, PipelineCosts, price_pipeline
@@ -182,6 +183,15 @@ class PipelineEstimator:
         schedules: tuple[str, ...] = tuple(KNOWN_SCHEDULES),
         record_trace: bool = False,
     ) -> PipelineEstimate:
+        with obs.span("pp.estimate", workload=workload.name):
+            return self._estimate(workload, schedules, record_trace)
+
+    def _estimate(
+        self,
+        workload: PipelineWorkload,
+        schedules: tuple[str, ...],
+        record_trace: bool,
+    ) -> PipelineEstimate:
         if workload.settings != self.settings:
             raise ValueError(
                 f"workload {workload.name!r} carries different OverlapSettings than "
@@ -193,11 +203,13 @@ class PipelineEstimator:
         # hit/miss sequence `repro e2e` would, so the embedded report is
         # bit-identical to an e2e run of the same workload.
         microbatch_estimate = self.e2e.estimate(workload.microbatch)
-        costs = price_pipeline(workload, self.e2e)
+        with obs.span("pp.price"):
+            costs = price_pipeline(workload, self.e2e)
 
         estimates = {}
         for name in schedules:
-            estimates[name] = self._estimate_schedule(name, workload, costs, record_trace)
+            with obs.span("pp.schedule", schedule=name):
+                estimates[name] = self._estimate_schedule(name, workload, costs, record_trace)
         lookups = (self.plan_store.hits - hits_before) + (
             self.plan_store.misses - misses_before
         )

@@ -93,11 +93,11 @@ class PipelineReport(ReportMixin):
         return "\n\n".join(self.table(estimate) for estimate in self.estimates)
 
     def to_dict(self) -> dict:
-        return {
+        return self._with_observability({
             "meta": self.meta,
             "workloads": {estimate.name: estimate.to_dict() for estimate in self.estimates},
             "plan_store": self.plan_stats,
-        }
+        })
 
 
 def estimate_pipelines(

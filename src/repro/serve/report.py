@@ -138,4 +138,4 @@ class ServeReport(ReportMixin):
             payload["faults"] = faults
         if self.fault_free is not None:
             payload["fault-free"] = self.fault_free.to_dict(self.slo)
-        return payload
+        return self._with_observability(payload)

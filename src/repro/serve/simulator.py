@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.comm.topology import Topology, a800_nvlink
 from repro.core.baselines import NonOverlapBaseline
 from repro.core.config import DEFAULT_SETTINGS, OverlapProblem, OverlapSettings
@@ -229,6 +230,18 @@ class ServingSimulator:
 
     def run(self, requests: list[Request]) -> ServingResult:
         """Simulate the full lifetime of ``requests`` and report the result."""
+        with obs.span("serve.simulate", mode=self.mode, requests=len(requests)):
+            return self._run(requests)
+
+    def _run(self, requests: list[Request]) -> ServingResult:
+        # Registry handles are resolved once per run (no-ops when observability
+        # is off) so the event-loop closures never pay a registry lookup.
+        iterations_counter = obs.counter("serve.iterations", mode=self.mode)
+        tokens_counter = obs.counter("serve.batched_tokens", mode=self.mode)
+        retries_counter = obs.counter("serve.retries", mode=self.mode)
+        wasted_counter = obs.counter("serve.wasted_iterations", mode=self.mode)
+        crash_counter = obs.counter("serve.crashes", mode=self.mode)
+        latency_histogram = obs.histogram("serve.iteration_latency_s", mode=self.mode)
         engine = EventEngine()
         scheduler = ContinuousBatchingScheduler(
             max_batch_tokens=self.config.max_batch_tokens,
@@ -283,6 +296,7 @@ class ServingSimulator:
                     attempts=attempts,
                 )
             )
+            obs.counter("serve.failures", mode=self.mode, outcome=outcome).inc()
 
         def evict_expired() -> None:
             for request_id in sorted(expired_pending):
@@ -304,6 +318,7 @@ class ServingSimulator:
             state["busy"] = True
             comm_factor = injector.comm_factor_at(now) if injector is not None else 1.0
             latency = self.iteration_latency(batch.total_tokens, comm_factor=comm_factor)
+            latency_histogram.observe(latency)
             finish = (
                 injector.straggler_finish(now, latency) if injector is not None
                 else now + latency
@@ -320,6 +335,8 @@ class ServingSimulator:
             now = engine.now
             state["iterations"] += 1
             state["tokens"] += batch.total_tokens
+            iterations_counter.inc()
+            tokens_counter.inc(batch.total_tokens)
             bucket = bucket_tokens(batch.total_tokens, self.config.min_bucket)
             token_buckets[bucket] = token_buckets.get(bucket, 0) + 1
             for request_id in outcome.first_tokens:
@@ -372,6 +389,7 @@ class ServingSimulator:
             if injector is not None and injector.drops(request.request_id, attempt, now):
                 if retry is not None and attempt <= retry.max_retries:
                     state["retries"] += 1
+                    retries_counter.inc()
                     engine.schedule_after(
                         retry.delay(attempt, request.request_id),
                         on_arrival, request, attempt + 1,
@@ -396,12 +414,15 @@ class ServingSimulator:
                 start_next_iteration()
 
         def on_crash() -> None:
+            crash_counter.inc()
+            obs.event("serve.crash", time_s=engine.now, mode=self.mode)
             if inflight["event"] is not None:
                 # Abort the in-flight iteration: its work is lost (next_batch
                 # mutated queues but apply() never commits the progress).
                 engine.cancel(inflight["event"])
                 state["wasted_iterations"] += 1
                 state["wasted_tokens"] += inflight["batch"].total_tokens
+                wasted_counter.inc()
                 clear_inflight()
                 evict_expired()
             state["busy"] = False

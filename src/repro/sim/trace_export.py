@@ -77,11 +77,76 @@ def trace_to_chrome_events(trace: Trace, process_name: str = "simulated-gpu") ->
     return events
 
 
-def export_chrome_trace(trace: Trace, path: str | Path, process_name: str = "simulated-gpu") -> Path:
-    """Write a Chrome trace JSON file and return its path."""
+def obs_spans_to_chrome_events(spans: list[dict], pid: int = 1) -> list[dict]:
+    """Convert :mod:`repro.obs` span dicts into Chrome trace events.
+
+    The span forest lands in its own ``observability`` process (``pid=1`` by
+    default, so it never collides with the simulated-GPU process at
+    ``pid=0``) with one thread per nesting depth -- the slices then stack in
+    the viewer the way the spans nested at runtime.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "observability"},
+        }
+    ]
+    max_depth = 0
+
+    def visit(node: dict, depth: int) -> None:
+        nonlocal max_depth
+        max_depth = max(max_depth, depth)
+        events.append(
+            {
+                "name": node["name"],
+                "ph": "X",
+                "pid": pid,
+                "tid": depth,
+                "ts": node["start_s"] * 1e6,
+                "dur": node["duration_s"] * 1e6,
+                "cat": "obs",
+                "args": node.get("attrs", {}),
+            }
+        )
+        for child in node.get("children", ()):
+            visit(child, depth + 1)
+
+    for root in spans:
+        visit(root, 0)
+    for depth in range(max_depth + 1):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": depth,
+                "args": {"name": f"spans (depth {depth})"},
+            }
+        )
+    return events
+
+
+def export_chrome_trace(
+    trace: Trace,
+    path: str | Path,
+    process_name: str = "simulated-gpu",
+    obs_spans: list[dict] | None = None,
+) -> Path:
+    """Write a Chrome trace JSON file and return its path.
+
+    ``obs_spans`` (the ``spans`` list of a profile snapshot) lands in the
+    same file on a separate ``observability`` process track, so simulated
+    events and profiling spans can be inspected side by side.
+    """
     from repro.atomic import atomic_write_text
 
-    payload = {"traceEvents": trace_to_chrome_events(trace, process_name), "displayTimeUnit": "ms"}
+    events = trace_to_chrome_events(trace, process_name)
+    if obs_spans:
+        events.extend(obs_spans_to_chrome_events(obs_spans))
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
     return atomic_write_text(path, json.dumps(payload, indent=2))
 
 

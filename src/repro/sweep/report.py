@@ -49,7 +49,7 @@ class SweepReport(ReportMixin):
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
-        return {
+        return self._with_observability({
             "meta": self.meta,
             "matrices": [
                 {
@@ -64,4 +64,4 @@ class SweepReport(ReportMixin):
                 for name, summary in self.summaries
             ],
             "records": self.records,
-        }
+        })

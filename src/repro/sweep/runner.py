@@ -26,11 +26,14 @@ Two caches with different scopes make a sweep fast:
 from __future__ import annotations
 
 import json
+import sys
+import threading
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.analysis.speedup import compare_methods
 from repro.core.baselines import NonOverlapBaseline
 from repro.core.executor import OverlapExecutor
@@ -143,6 +146,67 @@ class SweepSummary:
         return text
 
 
+class _Heartbeat:
+    """Periodic progress lines for a running sweep.
+
+    A daemon thread wakes every ``interval_s`` seconds and emits one
+    ``[sweep] done/total`` line with retry/quarantine counts and an ETA
+    extrapolated from the mean per-job wall time so far.  The counts mirror
+    the ``sweep.*`` observability counters (the runner increments both from
+    the same completion path); ``emit`` is injectable so tests can capture
+    lines without a real clock cadence.
+    """
+
+    def __init__(self, total: int, interval_s: float, emit=None) -> None:
+        self.total = total
+        self.interval_s = interval_s
+        self.emit = emit if emit is not None else self._print
+        self.done = 0
+        self.retried = 0
+        self.quarantined = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._start_s = obs.now()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    @staticmethod
+    def _print(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    def job_done(self, record: dict) -> None:
+        with self._lock:
+            self.done += 1
+            if record.get("attempts", 1) > 1:
+                self.retried += 1
+            if record.get("status") == "failed":
+                self.quarantined += 1
+
+    def line(self) -> str:
+        with self._lock:
+            done, retried, quarantined = self.done, self.retried, self.quarantined
+        elapsed = obs.now() - self._start_s
+        remaining = self.total - done
+        text = (
+            f"[sweep] {done}/{self.total} jobs, "
+            f"{retried} retried, {quarantined} quarantined"
+        )
+        if 0 < done < self.total:
+            text += f", ETA {elapsed / done * remaining:.1f}s"
+        elif done >= self.total:
+            text += f", done in {elapsed:.1f}s"
+        return text
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.emit(self.line())
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self.emit(self.line())
+
+
 class SweepRunner:
     """Execute a scenario matrix and persist per-job records.
 
@@ -166,6 +230,12 @@ class SweepRunner:
         it is quarantined as a ``failed`` record.  Errors caught inside the
         job keep producing ``error`` records without retries -- they are
         deterministic and would fail again.
+    heartbeat_s:
+        Emit a ``[sweep] done/total`` progress line (with retry/quarantine
+        counts and an ETA) every ``heartbeat_s`` seconds while jobs run.
+        ``0`` (the default) disables the heartbeat.  ``heartbeat_emit``
+        overrides the line sink (default: stderr) -- tests inject a list
+        appender.
     """
 
     def __init__(
@@ -178,6 +248,8 @@ class SweepRunner:
         baselines: bool = False,
         max_retries: int = 2,
         retry_backoff_s: float = 0.05,
+        heartbeat_s: float = 0.0,
+        heartbeat_emit=None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -185,6 +257,8 @@ class SweepRunner:
             raise ValueError("max_retries must be >= 0")
         if retry_backoff_s < 0:
             raise ValueError("retry_backoff_s must be >= 0")
+        if heartbeat_s < 0:
+            raise ValueError("heartbeat_s must be >= 0")
         self.store = store
         self.workers = workers
         self.resume = resume
@@ -193,19 +267,40 @@ class SweepRunner:
         self.baselines = baselines
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
+        self.heartbeat_s = heartbeat_s
+        self.heartbeat_emit = heartbeat_emit
 
     def run(self, matrix: ScenarioMatrix | list[Scenario]) -> SweepSummary:
+        name = matrix.name if isinstance(matrix, ScenarioMatrix) else None
+        with obs.span("sweep.run", matrix=name):
+            return self._run(matrix)
+
+    def _run(self, matrix: ScenarioMatrix | list[Scenario]) -> SweepSummary:
         scenarios = matrix.expand() if isinstance(matrix, ScenarioMatrix) else list(matrix)
         completed = self.store.completed_ids() if self.resume else set()
         pending = [s for s in scenarios if s.job_id not in completed]
 
-        if self.workers > 1 and pending:
-            cache_json = self.cache.to_json() if len(self.cache) else None
-            records = self._run_pool(pending, cache_json)
-        else:
-            # The cache is read-only during job execution (merges happen
-            # afterwards), so the live object can be shared directly.
-            records = [self._attempt_with_retries(s) for s in pending]
+        heartbeat = (
+            _Heartbeat(len(pending), self.heartbeat_s, self.heartbeat_emit)
+            if self.heartbeat_s > 0 and pending
+            else None
+        )
+        try:
+            if self.workers > 1 and pending:
+                cache_json = self.cache.to_json() if len(self.cache) else None
+                records = self._run_pool(pending, cache_json, heartbeat)
+            else:
+                # The cache is read-only during job execution (merges happen
+                # afterwards), so the live object can be shared directly.
+                records = []
+                for scenario in pending:
+                    with obs.span("sweep.job", job_id=scenario.job_id):
+                        record = self._attempt_with_retries(scenario)
+                    self._account(record, heartbeat)
+                    records.append(record)
+        finally:
+            if heartbeat is not None:
+                heartbeat.stop()
 
         # Deterministic store order regardless of worker completion order.
         by_id = {record["job_id"]: record for record in records}
@@ -220,6 +315,16 @@ class SweepRunner:
             self.cache.save(self.cache_path)
 
         failed = sum(1 for r in ordered if r.get("status") != "ok")
+        quarantined = sum(1 for r in ordered if r.get("status") == "failed")
+        profile_cache = profile_cache_info() if self.workers <= 1 and pending else None
+        if profile_cache is not None:
+            for key, value in profile_cache.items():
+                obs.gauge(f"profile_cache.{key}").set(value)
+        if quarantined and obs.enabled():
+            # Preserve the recent span/event history for post-mortem: the
+            # quarantined jobs' retry trail is exactly what the flight
+            # recorder buffered.
+            obs.dump_flight(f"{self.store.path}.flight.jsonl")
         return SweepSummary(
             total_scenarios=len(scenarios),
             executed=len(ordered),
@@ -228,10 +333,26 @@ class SweepRunner:
             tuned=sum(1 for r in ordered if r.get("tuned")),
             cache_hits=sum(1 for r in ordered if r.get("cache_hit")),
             retried=sum(1 for r in ordered if r.get("attempts", 1) > 1),
-            quarantined=sum(1 for r in ordered if r.get("status") == "failed"),
+            quarantined=quarantined,
             records=ordered,
-            profile_cache=profile_cache_info() if self.workers <= 1 and pending else None,
+            profile_cache=profile_cache,
         )
+
+    def _account(self, record: dict, heartbeat: _Heartbeat | None) -> None:
+        """Post one finished job to the registry (and the heartbeat)."""
+        obs.counter("sweep.jobs_done").inc()
+        if record.get("cache_hit"):
+            obs.counter("sweep.cache_hits").inc()
+        if record.get("tuned"):
+            obs.counter("sweep.tuned").inc()
+        if record.get("attempts", 1) > 1:
+            obs.counter("sweep.retried").inc()
+        if record.get("status") == "failed":
+            obs.counter("sweep.quarantined").inc()
+            obs.event("sweep.quarantine", job_id=record["job_id"],
+                      error=record.get("error", ""))
+        if heartbeat is not None:
+            heartbeat.job_done(record)
 
     def _attempt_with_retries(self, scenario: Scenario, already_failed: int = 0) -> dict:
         """Run one job in-process, retrying *raised* failures with backoff.
@@ -269,7 +390,12 @@ class SweepRunner:
             "attempts": self.max_retries + 1,
         }
 
-    def _run_pool(self, pending: list[Scenario], cache_json: str | None) -> list[dict]:
+    def _run_pool(
+        self,
+        pending: list[Scenario],
+        cache_json: str | None,
+        heartbeat: _Heartbeat | None = None,
+    ) -> list[dict]:
         records: list[dict] = []
         crashed: list[Scenario] = []
         with ProcessPoolExecutor(
@@ -280,13 +406,19 @@ class SweepRunner:
             futures = {pool.submit(_execute_in_worker, s.to_dict()): s for s in pending}
             for future in as_completed(futures):
                 try:
-                    records.append(future.result())
+                    record = future.result()
                 except Exception:  # noqa: BLE001 - crashed worker / broken pool
                     crashed.append(futures[future])
+                    continue
+                self._account(record, heartbeat)
+                records.append(record)
         # A worker crash (or a broken pool) lost these jobs; retry them
         # in-process, where the remaining budget and quarantine apply.
         for scenario in crashed:
-            records.append(self._attempt_with_retries(scenario, already_failed=1))
+            with obs.span("sweep.job", job_id=scenario.job_id, crashed_in_pool=True):
+                record = self._attempt_with_retries(scenario, already_failed=1)
+            self._account(record, heartbeat)
+            records.append(record)
         return records
 
     def _merge_cache_entry(self, entry: dict) -> None:

@@ -1,0 +1,47 @@
+"""Lint: library code must not read the clock behind the obs layer's back.
+
+The ruff configuration bans ``time.time`` / ``time.perf_counter`` /
+``time.monotonic`` in ``src/repro`` via TID251 (see pyproject.toml), but ruff
+is a dev-only dependency; this test enforces the same rule with a plain
+source scan so the tier-1 suite catches violations on machines without ruff.
+
+``src/repro/obs`` is the one sanctioned wrapper (``SystemClock`` /
+``obs.now``); everything else must route timing through it so an injected
+``FakeClock`` sees every reading.  ``time.sleep`` stays allowed -- retry
+backoff is genuine wall-clock work, not a measurement.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Direct clock reads; matched as calls or bare attribute references.
+BANNED = re.compile(r"\btime\.(time|perf_counter|monotonic)\b")
+
+
+def _is_exempt(path: Path) -> bool:
+    return "obs" in path.relative_to(SRC).parts[:1]
+
+
+def test_no_direct_clock_reads_outside_obs():
+    violations = []
+    for path in sorted(SRC.rglob("*.py")):
+        if _is_exempt(path):
+            continue
+        for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+            code = line.split("#", 1)[0]
+            if BANNED.search(code):
+                violations.append(f"{path.relative_to(SRC.parent)}:{lineno}: {line.strip()}")
+    assert not violations, (
+        "direct clock reads outside repro.obs (use obs.now() instead):\n"
+        + "\n".join(violations)
+    )
+
+
+def test_obs_clock_is_the_wrapper():
+    # The exemption exists for exactly one reason: SystemClock wraps the timer.
+    clock_src = (SRC / "obs" / "clock.py").read_text(encoding="utf-8")
+    assert "time.perf_counter()" in clock_src
