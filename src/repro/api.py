@@ -144,6 +144,7 @@ def pp(
     seed: int = 0,
     reuse: bool = True,
     record_trace: bool = True,
+    fast: bool = True,
     smoke: bool = False,
     profile: bool = False,
 ) -> PipelineReport:
@@ -152,6 +153,8 @@ def pp(
     Arguments left at ``None`` take the full-run defaults (4 stages,
     8 microbatches, all five workloads, all three schedules) or, with
     ``smoke=True``, the CI-sized scenario in :data:`PP_SMOKE`.
+    ``fast=False`` replays the schedules through the event-by-event reference
+    path instead of the vectorized sweep (bit-identical results).
     ``profile=True`` attaches an observability snapshot to the report.
     """
 
@@ -187,6 +190,7 @@ def pp(
             reuse=reuse,
             record_trace=record_trace,
             partition=tuple(int(count) for count in partition) if partition is not None else None,
+            fast=fast,
         )
         report.meta["smoke"] = smoke
         return report
@@ -219,6 +223,7 @@ def serve(
     failover_delay: float = 0.05,
     cluster: ClusterSpec | None = None,
     seed: int = 0,
+    fast: bool = True,
     smoke: bool = False,
     profile: bool = False,
 ) -> ServeReport:
@@ -236,7 +241,9 @@ def serve(
     ``deadline``, ``admission_limit`` and ``warm_spares`` configure the
     resilience policy.  Faulted runs additionally simulate the fault-free
     reference arm so the report can state goodput-under-failure.
-    ``profile=True`` attaches an observability snapshot to the report.
+    ``fast=False`` forces the one-event-per-iteration reference loop instead
+    of the batched fast path (bit-identical results).  ``profile=True``
+    attaches an observability snapshot to the report.
     """
 
     def build() -> ServeReport:
@@ -358,14 +365,15 @@ def serve(
         slo = SLO(ttft_s=slo_ttft, tpot_s=slo_tpot)
 
         overlap = ServingSimulator(
-            config, plan_cache=cache, mode="overlap", faults=injector, resilience=policy
+            config, plan_cache=cache, mode="overlap", faults=injector,
+            resilience=policy, fast=fast,
         ).run(generated)
         baseline_result = None
         if baseline:
             # The baseline arm rides the same fault timeline so the overlap
             # comparison stays like-for-like.
             baseline_result = ServingSimulator(
-                config, mode="non-overlap", faults=injector, resilience=policy
+                config, mode="non-overlap", faults=injector, resilience=policy, fast=fast
             ).run(generated)
         fault_free_result = None
         if injector is not None:
@@ -374,6 +382,7 @@ def serve(
                 plan_cache=PlanCache(settings, capacity=plan_cache, warm_start=warm,
                                      min_bucket=config.min_bucket),
                 mode="overlap",
+                fast=fast,
             ).run(generated)
         if warm_cache and warm is not None:
             warm.save(warm_cache)
@@ -415,6 +424,7 @@ def sweep(
     workers: int = 1,
     resume: bool = False,
     cache: str | None = None,
+    plan_store: str | None = None,
     baselines: bool = False,
     group_by: Sequence[str] = DEFAULT_GROUP_KEYS,
     heartbeat_s: float = 0.0,
@@ -428,6 +438,9 @@ def sweep(
     config files -- the CLI maps those onto exit code 2.  ``heartbeat_s``
     emits periodic progress lines (done/total, retries, quarantines, ETA)
     while jobs run; ``profile=True`` attaches an observability snapshot.
+    ``plan_store`` names a priced-cell store file: sweep points whose content
+    matches a stored cell replay the priced results instead of re-simulating
+    (incremental re-simulation), and freshly priced cells are written back.
     """
 
     def build() -> SweepReport:
@@ -465,6 +478,7 @@ def sweep(
             cache=warm,
             cache_path=cache,
             baselines=baselines,
+            plan_store_path=plan_store,
             heartbeat_s=heartbeat_s,
         )
         summaries = [(matrix.name, runner.run(matrix)) for matrix in matrices]
@@ -480,6 +494,15 @@ def sweep(
                 "baselines": baselines,
                 "cache": cache,
                 "cache_entries": len(runner.cache) if cache else None,
+                "plan_store": plan_store,
+                "priced_cells": len(runner.plan_store) if plan_store else None,
+                "priced_cell_stats": runner.plan_store.stats() if plan_store else None,
+                # Replays counted from the records: worker-pool lookups hit the
+                # workers' snapshots, not the parent store's counters.
+                "priced_hits": (
+                    sum(summary.priced_hits for _, summary in summaries)
+                    if plan_store else None
+                ),
                 "group_by": list(group_keys),
             },
         )

@@ -36,6 +36,10 @@ def add_parser(sub) -> None:
                         help="skip job IDs already completed in --out")
     parser.add_argument("--cache", type=str, default=None,
                         help="GEMM shape-cache JSON warm start, updated after the run")
+    parser.add_argument("--plan-store", type=str, default=None,
+                        help="content-addressed priced-cell store: unchanged sweep "
+                             "points replay from it instead of re-simulating; "
+                             "freshly priced cells are written back")
     parser.add_argument("--baselines", action="store_true",
                         help="also evaluate every baseline method per scenario (slower)")
     parser.add_argument("--group-by", type=str, default="workload,collective,topology",
@@ -67,6 +71,7 @@ def run(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 resume=args.resume,
                 cache=args.cache,
+                plan_store=args.plan_store,
                 baselines=args.baselines,
                 group_by=group_keys,
                 heartbeat_s=args.heartbeat,
@@ -79,6 +84,9 @@ def run(args: argparse.Namespace) -> int:
     print(f"\nresults  : {meta['out']} ({meta['completed_jobs']} completed jobs)")
     if args.cache:
         print(f"cache    : {args.cache} ({meta['cache_entries']} entries)")
+    if args.plan_store:
+        print(f"plans    : {args.plan_store} ({meta['priced_cells']} cells, "
+              f"{meta['priced_hits']} replayed)")
     finish_profile(args, session, NAME, report)
     if args.json:
         write_json_report(report, args.json)

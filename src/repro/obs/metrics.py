@@ -57,6 +57,12 @@ class Gauge:
         self.value = value
 
 
+def _nearest_rank(ordered: list[float], p: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
 class Histogram:
     """Observed-value distribution summarised by nearest-rank percentiles."""
 
@@ -72,22 +78,25 @@ class Histogram:
         """Nearest-rank percentile (``p`` in [0, 100]); 0.0 when empty."""
         if not self.values:
             return 0.0
-        ordered = sorted(self.values)
-        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
-        return ordered[min(rank, len(ordered)) - 1]
+        return _nearest_rank(sorted(self.values), p)
 
     def summary(self) -> dict:
         if not self.values:
             return {"count": 0}
+        # One sort serves min/max and every percentile of the snapshot; the
+        # sum is taken in observation order so it stays bit-identical to the
+        # incremental accumulation the old per-call path produced.
+        ordered = sorted(self.values)
+        total = sum(self.values)
         return {
-            "count": len(self.values),
-            "sum": sum(self.values),
-            "min": min(self.values),
-            "max": max(self.values),
-            "mean": sum(self.values) / len(self.values),
-            "p50": self.percentile(50),
-            "p90": self.percentile(90),
-            "p99": self.percentile(99),
+            "count": len(ordered),
+            "sum": total,
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": total / len(ordered),
+            "p50": _nearest_rank(ordered, 50),
+            "p90": _nearest_rank(ordered, 90),
+            "p99": _nearest_rank(ordered, 99),
         }
 
 

@@ -8,5 +8,6 @@ and repeated layers of a model are tuned exactly once, with hit/miss stats.
 """
 
 from repro.plans.cache import CachedPlan, PlanCache, bucket_tokens
+from repro.plans.store import PricedCellStore, plan_key
 
-__all__ = ["CachedPlan", "PlanCache", "bucket_tokens"]
+__all__ = ["CachedPlan", "PlanCache", "PricedCellStore", "bucket_tokens", "plan_key"]

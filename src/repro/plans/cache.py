@@ -165,6 +165,19 @@ class PlanCache:
                 obs.counter("plan_store.evictions").inc()
         return entry
 
+    def count_repeat_hits(self, lookups: int) -> None:
+        """Account ``lookups`` repeats of lookups that just hit.
+
+        The serving fast path collapses runs of identical iterations; each
+        skipped iteration would have re-issued the same (warm) lookups, so
+        their hit counters are bumped in bulk.  The LRU order is already
+        correct: repeating a ``move_to_end`` of the same keys is a no-op.
+        """
+        if lookups <= 0:
+            return
+        self.hits += lookups
+        obs.counter("plan_store.hits").inc(lookups)
+
     def _build_plan(self, bucketed: OverlapProblem) -> CachedPlan:
         shape = bucketed.shape
         with obs.span("plan_store.build", m=shape.m, n=shape.n, k=shape.k):

@@ -169,9 +169,14 @@ class PipelineEstimator:
         estimator: EndToEndEstimator | None = None,
         reuse: bool = True,
         warm_start=None,
+        fast: bool = True,
     ) -> None:
         self.settings = settings
         self.e2e = estimator or EndToEndEstimator(settings, reuse=reuse, warm_start=warm_start)
+        #: Replay schedules through the vectorized sweep (bit-identical to
+        #: the event-by-event reference; ``fast=False`` keeps the latter on
+        #: the hot path, which `repro pp --no-fast` exercises in CI).
+        self.fast = fast
 
     @property
     def plan_store(self):
@@ -252,7 +257,7 @@ class PipelineEstimator:
                 bwd_delay=costs.bwd_delay,
             )
             want_trace = record_trace and method == "overlap"
-            result = schedule.replay(record_trace=want_trace)
+            result = schedule.replay(record_trace=want_trace, fast=self.fast)
             methods[method] = _score(schedule, result, method)
             num_cells = len(schedule.cells())
             if want_trace:
@@ -264,7 +269,10 @@ def _score(schedule: Schedule, result: ReplayResult, method: str) -> ScheduleMet
     useful = schedule.useful_work()
     step = result.makespan
     stages = [f"stage{index}" for index in range(schedule.num_stages)]
-    busy = tuple(result.busy[stage] for stage in stages)
+    # Nominal work, not stretched occupancy: under a straggling SpeedProfile
+    # the slowed spans would otherwise count as busy and the idle split would
+    # underreport the stall the fault introduced.
+    busy = tuple(result.work[stage] for stage in stages)
     bubble = 1.0 - useful / (schedule.num_stages * step) if step > 0 else 0.0
     return ScheduleMethodResult(
         method=method,

@@ -171,6 +171,48 @@ class ContinuousBatchingScheduler:
             return None
         return IterationBatch(prefill=tuple(prefill), decode=tuple(decode))
 
+    def steady_decode_run(self) -> int:
+        """How many upcoming iterations are *silent* steady-decode repeats.
+
+        A silent iteration batches exactly one decode token for every running
+        request and changes nothing observable: no admission (the waiting
+        queue is empty, or every slot is taken), no prefill, no first token
+        and no completion.  The serving fast path advances such runs in one
+        step; the return value is ``min(output_remaining) - 1`` so that the
+        iteration that emits somebody's last token is always executed
+        normally.  Returns 0 when the next iteration is not a silent repeat.
+        """
+        if not self._running:
+            return 0
+        if self._waiting and len(self._running) < self.max_batch_size:
+            return 0
+        if len(self._running) > self.max_batch_tokens:
+            return 0
+        floor = None
+        for state in self._running:
+            if not state.prefill_done:
+                return 0
+            if floor is None or state.output_remaining < floor:
+                floor = state.output_remaining
+        return floor - 1
+
+    def advance_decodes(self, iterations: int) -> None:
+        """Bulk-apply ``iterations`` silent steady-decode batches.
+
+        Only valid for ``iterations <= steady_decode_run()``: every running
+        request decodes one token per iteration and none may finish.
+        """
+        if iterations < 0:
+            raise ValueError("iterations must be >= 0")
+        for state in self._running:
+            if not state.prefill_done or state.output_remaining <= iterations:
+                raise ValueError(
+                    "advance_decodes past a request boundary: "
+                    f"request {state.request.request_id} is not mid-decode "
+                    f"for {iterations} more iterations"
+                )
+            state.output_remaining -= iterations
+
     def apply(self, batch: IterationBatch) -> IterationOutcome:
         """Account one executed batch; returns first-token/finish events."""
         first_tokens: list[int] = []

@@ -165,11 +165,17 @@ class ServingSimulator:
         mode: str = "overlap",
         faults: FaultInjector | None = None,
         resilience: ResiliencePolicy | None = None,
+        fast: bool = True,
     ) -> None:
         if mode not in SERVE_MODES:
             raise ValueError(f"mode must be one of {SERVE_MODES}, got {mode!r}")
         self.config = config
         self.mode = mode
+        #: Advance pure iteration stretches inline (and collapse silent
+        #: steady-decode runs) instead of taking one heap round-trip per
+        #: iteration.  Bit-identical to ``fast=False`` including faulted
+        #: runs; the event engine still arbitrates every boundary event.
+        self.fast = fast
         if plan_cache is None and mode == "overlap":
             plan_cache = PlanCache(config.settings, min_bucket=config.min_bucket)
         self.plan_cache = plan_cache
@@ -264,6 +270,7 @@ class ServingSimulator:
         token_buckets: dict[int, int] = {}
         injector = self.faults
         policy = self.resilience
+        fast = self.fast
         retry = policy.retry if policy is not None else None
         attempts_of: dict[int, int] = {}
         deadline_events: dict[int, object] = {}
@@ -306,31 +313,8 @@ class ServingSimulator:
                                attempts_of.get(request_id, 1))
             expired_pending.clear()
 
-        def start_next_iteration() -> None:
-            now = engine.now
-            if injector is not None and injector.is_down(now):
-                state["busy"] = False
-                return
-            batch = scheduler.next_batch()
-            if batch is None:
-                state["busy"] = False
-                return
-            state["busy"] = True
-            comm_factor = injector.comm_factor_at(now) if injector is not None else 1.0
-            latency = self.iteration_latency(batch.total_tokens, comm_factor=comm_factor)
-            latency_histogram.observe(latency)
-            finish = (
-                injector.straggler_finish(now, latency) if injector is not None
-                else now + latency
-            )
-            inflight["event"] = engine.schedule(finish, finish_iteration, batch)
-            inflight["batch"] = batch
-            inflight["ids"] = frozenset(
-                {chunk.request_id for chunk in batch.prefill} | set(batch.decode)
-            )
-
-        def finish_iteration(batch: IterationBatch) -> None:
-            clear_inflight()
+        def commit(batch: IterationBatch) -> None:
+            """Account one executed batch (shared by the event and fast paths)."""
             outcome = scheduler.apply(batch)
             now = engine.now
             state["iterations"] += 1
@@ -368,6 +352,94 @@ class ServingSimulator:
                     )
                 )
             evict_expired()
+
+        def advance_steady_run(batch: IterationBatch, latency: float, lookups: int) -> None:
+            """Collapse the silent steady-decode stretch following ``batch``.
+
+            After a committed decode-only iteration that finished nobody, the
+            upcoming iterations repeat it exactly -- same requests, tokens,
+            bucket and (cache-warm) latency -- until a request runs out of
+            output tokens or an engine event intervenes.  Their side effects
+            are applied in bulk, bit-identically to executing each one.
+            """
+            if scheduler.running_count != len(batch.decode):
+                return  # somebody finished: the next batch differs
+            run = scheduler.steady_decode_run()
+            if run <= 0:
+                return
+            upcoming = engine.next_event_time()
+            time = engine.now
+            count = 0
+            while count < run:
+                finish = time + latency
+                if upcoming is not None and finish >= upcoming:
+                    break
+                time = finish
+                count += 1
+            if count == 0:
+                return
+            engine.advance_to(time)
+            scheduler.advance_decodes(count)
+            state["iterations"] += count
+            state["tokens"] += batch.total_tokens * count
+            iterations_counter.inc(count)
+            tokens_counter.inc(batch.total_tokens * count)
+            bucket = bucket_tokens(batch.total_tokens, self.config.min_bucket)
+            token_buckets[bucket] += count
+            for _ in range(count):
+                latency_histogram.observe(latency)
+            if self.plan_cache is not None:
+                # Each skipped iteration would have re-issued the same warm
+                # plan lookups as the committed one.
+                self.plan_cache.count_repeat_hits(lookups * count)
+
+        def start_next_iteration() -> None:
+            while True:
+                now = engine.now
+                if injector is not None and injector.is_down(now):
+                    state["busy"] = False
+                    return
+                batch = scheduler.next_batch()
+                if batch is None:
+                    state["busy"] = False
+                    return
+                state["busy"] = True
+                comm_factor = injector.comm_factor_at(now) if injector is not None else 1.0
+                cache = self.plan_cache
+                lookups_before = cache.lookups if cache is not None else 0
+                latency = self.iteration_latency(batch.total_tokens, comm_factor=comm_factor)
+                latency_histogram.observe(latency)
+                finish = (
+                    injector.straggler_finish(now, latency) if injector is not None
+                    else now + latency
+                )
+                if fast:
+                    upcoming = engine.next_event_time()
+                    if upcoming is None or finish < upcoming:
+                        # No boundary event (arrival, deadline, crash or
+                        # recovery) fires before this iteration lands, so
+                        # commit it inline without a heap round-trip.  Ties go
+                        # to the event: it was scheduled first, and the
+                        # reference path dispatches it first.
+                        engine.advance_to(finish)
+                        commit(batch)
+                        if injector is None and not batch.prefill:
+                            advance_steady_run(
+                                batch,
+                                latency,
+                                cache.lookups - lookups_before if cache is not None else 0,
+                            )
+                        continue
+                inflight["event"] = engine.schedule(finish, finish_iteration, batch)
+                inflight["batch"] = batch
+                inflight["ids"] = frozenset(
+                    {chunk.request_id for chunk in batch.prefill} | set(batch.decode)
+                )
+                return
+
+        def finish_iteration(batch: IterationBatch) -> None:
+            clear_inflight()
+            commit(batch)
             start_next_iteration()
 
         def on_deadline(request_id: int) -> None:
@@ -477,18 +549,21 @@ def compare_serving(
     plan_cache: PlanCache | None = None,
     faults: FaultInjector | None = None,
     resilience: ResiliencePolicy | None = None,
+    fast: bool = True,
 ) -> dict[str, ServingResult]:
     """Run the same traffic under overlap and non-overlap execution.
 
     The two runs share nothing but the request list (and the fault timeline,
     when given), so the baseline's slower iterations feed back into its
     queueing delays -- the serving-level effect operator-level speedup numbers
-    cannot show.
+    cannot show.  ``fast=False`` forces the one-event-per-iteration reference
+    loop (bit-identical results).
     """
     overlap = ServingSimulator(
-        config, plan_cache=plan_cache, mode="overlap", faults=faults, resilience=resilience
+        config, plan_cache=plan_cache, mode="overlap", faults=faults,
+        resilience=resilience, fast=fast,
     ).run(requests)
     baseline = ServingSimulator(
-        config, mode="non-overlap", faults=faults, resilience=resilience
+        config, mode="non-overlap", faults=faults, resilience=resilience, fast=fast
     ).run(requests)
     return {"overlap": overlap, "non-overlap": baseline}

@@ -80,15 +80,40 @@ class EventEngine:
         event.cancelled = True
         self._pending -= 1
 
+    def next_event_time(self) -> float | None:
+        """Time of the next live event, or None when the queue is drained.
+
+        Cancelled heads are popped on the way (they are dead weight anyway),
+        so the query is amortized O(1).
+        """
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def advance_to(self, time: float) -> None:
+        """Manually advance the clock to ``time`` (monotonic).
+
+        Fast paths that execute work inline between events use this to keep
+        the simulated clock honest without paying a schedule/pop round trip
+        per step.  Rewinding is rejected.
+        """
+        if time < self._now:
+            raise ValueError(f"cannot advance the clock to {time} before now ({self._now})")
+        self._now = time
+
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Run events until the queue drains (or a limit is reached).
 
-        Returns the final simulation time.
+        With ``until=T`` the clock always lands on ``min(T, next-event
+        time)`` -- whether events executed, none were due, or the loop
+        stopped on an event scheduled past ``T`` (``max_events`` exhaustion
+        leaves the clock at the last executed event instead: the caller
+        limited execution, not time).  Returns the final simulation time.
         """
         executed = 0
         while self._queue:
             if max_events is not None and executed >= max_events:
-                break
+                return self._now
             event = self._queue[0]
             if until is not None and event.time > until:
                 break
@@ -101,8 +126,9 @@ class EventEngine:
             event.callback(*event.args)
             self._processed += 1
             executed += 1
-        if until is not None and not self._queue:
-            self._now = max(self._now, until) if executed == 0 else self._now
+        if until is not None:
+            upcoming = self.next_event_time()
+            self._now = max(self._now, until if upcoming is None else min(until, upcoming))
         return self._now
 
     def reset(self) -> None:

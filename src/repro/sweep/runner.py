@@ -39,38 +39,77 @@ from repro.core.baselines import NonOverlapBaseline
 from repro.core.executor import OverlapExecutor
 from repro.core.predictor import profile_cache_info
 from repro.core.tuner import GemmShapeCache, PredictiveTuner
+from repro.plans.store import PricedCellStore, plan_key
 from repro.sweep.matrix import Scenario, ScenarioMatrix
 from repro.sweep.store import ResultStore
 
+#: The priced fields of one sweep record -- everything downstream of tuning
+#: and simulation, all deterministic functions of the scenario content.  This
+#: is what a :class:`PricedCellStore` cell carries (plus ``method_speedups``
+#: when the cell was priced with baselines).
+_PRICED_FIELDS = (
+    "use_overlap",
+    "partition",
+    "candidates_evaluated",
+    "overlap_latency",
+    "non_overlap_latency",
+    "theoretical_latency",
+    "speedup",
+    "ratio_of_theoretical",
+)
 
 #: Per-worker-process state, set once by :func:`_init_worker` so the shared
-#: shape cache is deserialised per worker, not per job.
+#: shape cache and priced-cell snapshot are deserialised per worker, not per
+#: job.
 _WORKER_CACHE: GemmShapeCache | None = None
 _WORKER_BASELINES = False
+_WORKER_PLANS: PricedCellStore | None = None
 
 
-def _init_worker(cache_json: str | None, baselines: bool) -> None:
-    global _WORKER_CACHE, _WORKER_BASELINES
+def _init_worker(cache_json: str | None, baselines: bool, plans_json: str | None) -> None:
+    global _WORKER_CACHE, _WORKER_BASELINES, _WORKER_PLANS
     _WORKER_CACHE = GemmShapeCache.from_json(cache_json) if cache_json else GemmShapeCache()
     _WORKER_BASELINES = baselines
+    _WORKER_PLANS = PricedCellStore.from_json(plans_json) if plans_json is not None else None
 
 
 def _execute_in_worker(payload: dict) -> dict:
-    return _execute_scenario(payload, _WORKER_CACHE, _WORKER_BASELINES)
+    return _execute_scenario(payload, _WORKER_CACHE, _WORKER_BASELINES, _WORKER_PLANS)
 
 
-def _execute_scenario(payload: dict, cache: GemmShapeCache | None, baselines: bool) -> dict:
+def _execute_scenario(
+    payload: dict,
+    cache: GemmShapeCache | None,
+    baselines: bool,
+    plans: PricedCellStore | None = None,
+) -> dict:
     """Run one sweep job; module-level so worker processes can pickle it.
 
-    ``cache`` is only read, never mutated, so the in-process path can hand in
-    its live cache object directly.  Returns the result record; on a cache
-    miss the freshly tuned entry rides along under ``"cache_entry"`` so the
-    parent can merge it into the shared shape cache (the key is popped before
-    the record is stored).
+    ``cache`` and ``plans`` are only read, never mutated (beyond hit/miss
+    counters), so the in-process path can hand in its live objects directly.
+    Returns the result record; on a shape-cache miss the freshly tuned entry
+    rides along under ``"cache_entry"``, and on a priced-cell miss the fresh
+    cell rides along under ``"priced_cell"``, so the parent can merge both
+    into the shared stores (the keys are popped before the record is stored).
     """
     scenario = Scenario.from_dict(payload)
     record: dict = {"job_id": scenario.job_id, "scenario": scenario.to_dict()}
     try:
+        cell_key = plan_key(scenario.to_dict()) if plans is not None else None
+        cell = plans.lookup(cell_key) if plans is not None else None
+        if cell is not None and baselines and "method_speedups" not in cell:
+            cell = None  # the stored cell was priced without baselines
+        if cell is not None:
+            # The scenario content is unchanged since the cell was priced, and
+            # pricing is deterministic, so replaying the stored values is
+            # bit-identical to re-simulating (the differential tests assert
+            # this).  No tuner or executor work happens at all.
+            if not baselines:
+                cell.pop("method_speedups", None)
+            record.update(cell)
+            record.update(status="ok", tuned=False, cache_hit=False, priced_cell_hit=True)
+            return record
+
         problem = scenario.to_problem()
         settings = scenario.to_settings()
 
@@ -107,6 +146,11 @@ def _execute_scenario(payload: dict, cache: GemmShapeCache | None, baselines: bo
         if baselines:
             comparison = compare_methods(problem, settings=settings)
             record["method_speedups"] = dict(comparison.speedups)
+        if plans is not None:
+            fresh_cell = {field: record[field] for field in _PRICED_FIELDS}
+            if baselines:
+                fresh_cell["method_speedups"] = record["method_speedups"]
+            record["priced_cell"] = {"key": cell_key, "cell": fresh_cell}
     except Exception as error:  # noqa: BLE001 - a failed job must not kill the sweep
         record.update(
             status="error",
@@ -126,6 +170,9 @@ class SweepSummary:
     failed: int
     tuned: int
     cache_hits: int
+    #: Jobs replayed wholesale from the priced-cell store (no tuner or
+    #: executor work; 0 when no store is attached).
+    priced_hits: int = 0
     #: Jobs that needed more than one attempt (crashed worker, raised error).
     retried: int = 0
     #: Jobs that exhausted their retry budget and were stored as ``failed``.
@@ -141,6 +188,8 @@ class SweepSummary:
             f"({self.skipped} resumed, {self.cache_hits} cache hits, "
             f"{self.tuned} tuned, {self.failed} failed)"
         )
+        if self.priced_hits:
+            text += f"; {self.priced_hits} replayed from the priced-cell store"
         if self.retried or self.quarantined:
             text += f"; {self.retried} retried, {self.quarantined} quarantined"
         return text
@@ -224,6 +273,14 @@ class SweepRunner:
     baselines:
         Also evaluate every baseline method per scenario (slower; feeds the
         per-method aggregation of :mod:`repro.analysis.speedup`).
+    plan_store:
+        Content-addressed :class:`PricedCellStore`: jobs whose scenario
+        content matches a stored cell replay the priced values instead of
+        re-simulating (see :mod:`repro.plans.store`).  Workers receive the
+        initial snapshot once at pool-init time; freshly priced cells are
+        merged back after the run (and written to ``plan_store_path`` if
+        given).  ``plan_store_path`` alone loads/creates the store at that
+        path.
     max_retries:
         How many extra attempts a job whose execution *raised* (crashed
         worker process, broken pool) gets, with exponential backoff, before
@@ -246,6 +303,8 @@ class SweepRunner:
         cache: GemmShapeCache | None = None,
         cache_path: str | None = None,
         baselines: bool = False,
+        plan_store: PricedCellStore | None = None,
+        plan_store_path: str | None = None,
         max_retries: int = 2,
         retry_backoff_s: float = 0.05,
         heartbeat_s: float = 0.0,
@@ -265,6 +324,10 @@ class SweepRunner:
         self.cache = cache if cache is not None else GemmShapeCache()
         self.cache_path = cache_path
         self.baselines = baselines
+        if plan_store is None and plan_store_path is not None:
+            plan_store = PricedCellStore.load(plan_store_path, missing_ok=True)
+        self.plan_store = plan_store
+        self.plan_store_path = plan_store_path
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
         self.heartbeat_s = heartbeat_s
@@ -288,7 +351,10 @@ class SweepRunner:
         try:
             if self.workers > 1 and pending:
                 cache_json = self.cache.to_json() if len(self.cache) else None
-                records = self._run_pool(pending, cache_json, heartbeat)
+                plans_json = (
+                    self.plan_store.to_json() if self.plan_store is not None else None
+                )
+                records = self._run_pool(pending, cache_json, plans_json, heartbeat)
             else:
                 # The cache is read-only during job execution (merges happen
                 # afterwards), so the live object can be shared directly.
@@ -309,10 +375,15 @@ class SweepRunner:
             entry = record.pop("cache_entry", None)
             if entry is not None:
                 self._merge_cache_entry(entry)
+            priced = record.pop("priced_cell", None)
+            if priced is not None and self.plan_store is not None:
+                self.plan_store.add(priced["key"], priced["cell"])
             self.store.append(record)
 
         if self.cache_path is not None:
             self.cache.save(self.cache_path)
+        if self.plan_store is not None and self.plan_store_path is not None:
+            self.plan_store.save(self.plan_store_path)
 
         failed = sum(1 for r in ordered if r.get("status") != "ok")
         quarantined = sum(1 for r in ordered if r.get("status") == "failed")
@@ -332,6 +403,7 @@ class SweepRunner:
             failed=failed,
             tuned=sum(1 for r in ordered if r.get("tuned")),
             cache_hits=sum(1 for r in ordered if r.get("cache_hit")),
+            priced_hits=sum(1 for r in ordered if r.get("priced_cell_hit")),
             retried=sum(1 for r in ordered if r.get("attempts", 1) > 1),
             quarantined=quarantined,
             records=ordered,
@@ -343,6 +415,8 @@ class SweepRunner:
         obs.counter("sweep.jobs_done").inc()
         if record.get("cache_hit"):
             obs.counter("sweep.cache_hits").inc()
+        if record.get("priced_cell_hit"):
+            obs.counter("sweep.priced_cell_hits").inc()
         if record.get("tuned"):
             obs.counter("sweep.tuned").inc()
         if record.get("attempts", 1) > 1:
@@ -372,7 +446,15 @@ class SweepRunner:
             if attempt and self.retry_backoff_s:
                 time.sleep(self.retry_backoff_s * 2 ** (attempt - 1))
             try:
-                record = _execute_scenario(scenario.to_dict(), self.cache, self.baselines)
+                # The 4th argument is only passed when a store is attached, so
+                # tests (and callers) stubbing the 3-argument execution hook
+                # keep working unchanged.
+                if self.plan_store is not None:
+                    record = _execute_scenario(
+                        scenario.to_dict(), self.cache, self.baselines, self.plan_store
+                    )
+                else:
+                    record = _execute_scenario(scenario.to_dict(), self.cache, self.baselines)
             except Exception as error:  # noqa: BLE001 - crash analog, retried
                 last_error = f"{type(error).__name__}: {error}"
                 last_traceback = traceback.format_exc()
@@ -394,6 +476,7 @@ class SweepRunner:
         self,
         pending: list[Scenario],
         cache_json: str | None,
+        plans_json: str | None = None,
         heartbeat: _Heartbeat | None = None,
     ) -> list[dict]:
         records: list[dict] = []
@@ -401,7 +484,7 @@ class SweepRunner:
         with ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_init_worker,
-            initargs=(cache_json, self.baselines),
+            initargs=(cache_json, self.baselines, plans_json),
         ) as pool:
             futures = {pool.submit(_execute_in_worker, s.to_dict()): s for s in pending}
             for future in as_completed(futures):

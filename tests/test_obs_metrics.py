@@ -69,6 +69,39 @@ class TestHistogramPercentiles:
     def test_empty_histogram_summary(self):
         assert MetricsRegistry().histogram("h").summary() == {"count": 0}
 
+    def test_p0_p50_p100_edge_ranks(self):
+        # p0 clamps to the smallest observation (rank floor of 1), p100 to
+        # the largest; a two-value histogram exercises both clamp branches.
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(2.0)
+        histogram.observe(1.0)
+        assert histogram.percentile(0) == 1.0
+        assert histogram.percentile(50) == 1.0
+        assert histogram.percentile(100) == 2.0
+
+    def test_summary_matches_per_call_percentiles(self):
+        # summary() sorts once; its percentile fields must equal the
+        # sort-per-call percentile() results on the same data.
+        histogram = MetricsRegistry().histogram("h")
+        for value in (5.0, 1.0, 4.0, 2.0, 3.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["p50"] == histogram.percentile(50)
+        assert summary["p90"] == histogram.percentile(90)
+        assert summary["p99"] == histogram.percentile(99)
+        assert summary["min"] == 1.0 and summary["max"] == 5.0
+        assert summary["sum"] == sum((5.0, 1.0, 4.0, 2.0, 3.0))
+        assert histogram.values[0] == 5.0  # observation order preserved
+
+    def test_single_value_summary_unchanged_by_single_sort(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(0.125)
+        summary = histogram.summary()
+        assert summary == {
+            "count": 1, "sum": 0.125, "min": 0.125, "max": 0.125,
+            "mean": 0.125, "p50": 0.125, "p90": 0.125, "p99": 0.125,
+        }
+
 
 class TestSnapshotRoundTrip:
     def test_snapshot_survives_json_round_trip(self):

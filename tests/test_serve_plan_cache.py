@@ -103,6 +103,27 @@ class TestLRUEviction:
         assert stats["capacity"] == 1
         assert stats["tuner_invocations"] == 2
 
+    def test_count_repeat_hits_bulk_accounts_silent_lookups(self, problem, fast_settings):
+        """The serving fast path replays collapsed steady-decode iterations as
+        bulk warm hits instead of re-issuing each lookup."""
+        cache = PlanCache(fast_settings, capacity=4)
+        cache.lookup(problem)  # one real miss warms the bucket
+        cache.count_repeat_hits(3)
+        assert (cache.hits, cache.misses) == (3, 1)
+        assert cache.lookups == 4
+        assert cache.tuner_invocations == 1
+        stats = cache.stats()
+        assert stats["hits"] == 3
+        assert stats["hit_rate"] == pytest.approx(3 / 4)
+
+    def test_count_repeat_hits_non_positive_is_a_noop(self, problem, fast_settings):
+        cache = PlanCache(fast_settings, capacity=4)
+        cache.lookup(problem)
+        cache.count_repeat_hits(0)
+        cache.count_repeat_hits(-2)
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert cache.lookups == 1
+
 
 class TestCacheHitIdenticalToFreshTune:
     def test_hit_equals_fresh_plan_bit_for_bit(self, problem, fast_settings):

@@ -81,6 +81,92 @@ class TestBatchPacking:
             scheduler.add(request(0, prompt=4, output=1))
 
 
+class TestSteadyDecodeRun:
+    """The fast path's silent-run detector and its bulk-apply counterpart."""
+
+    def steady_scheduler(self, outputs, max_batch_tokens=512, max_batch_size=8):
+        """All requests prefilled in one batch, now mid-decode."""
+        scheduler = ContinuousBatchingScheduler(
+            max_batch_tokens=max_batch_tokens, max_batch_size=max_batch_size
+        )
+        for rid, output in enumerate(outputs):
+            scheduler.add(request(rid, prompt=4, output=output))
+        scheduler.apply(scheduler.next_batch())  # every prefill fits at once
+        return scheduler
+
+    def test_empty_scheduler_has_no_run(self):
+        scheduler = ContinuousBatchingScheduler(max_batch_tokens=64, max_batch_size=4)
+        assert scheduler.steady_decode_run() == 0
+
+    def test_run_is_min_output_remaining_minus_one(self):
+        # Prefill emits the first token, so outputs (5, 3) leave (4, 2)
+        # decodes; only the first of the two remaining request-1 decodes is
+        # silent -- the second finishes request 1.
+        scheduler = self.steady_scheduler([5, 3])
+        assert scheduler.steady_decode_run() == 1
+
+    def test_last_token_iteration_is_never_silent(self):
+        scheduler = self.steady_scheduler([2, 2])  # one decode each left
+        assert scheduler.steady_decode_run() == 0
+
+    def test_pending_admission_blocks_the_run(self):
+        scheduler = self.steady_scheduler([8], max_batch_size=2)
+        assert scheduler.steady_decode_run() == 6
+        scheduler.add(request(99, prompt=4, output=4))  # waiting + a free slot
+        assert scheduler.steady_decode_run() == 0
+
+    def test_full_slots_keep_the_run_alive(self):
+        scheduler = self.steady_scheduler([8], max_batch_size=1)
+        scheduler.add(request(99, prompt=4, output=4))  # waiting, but no slot
+        assert scheduler.steady_decode_run() == 6
+
+    def test_pending_prefill_blocks_the_run(self):
+        scheduler = ContinuousBatchingScheduler(max_batch_tokens=64, max_batch_size=4)
+        scheduler.add(request(0, prompt=4, output=8))
+        scheduler.add(request(1, prompt=150, output=8))  # needs chunked prefill
+        scheduler.apply(scheduler.next_batch())  # 0 done, 1 mid-prefill
+        assert scheduler.steady_decode_run() == 0
+
+    def test_overflowing_token_budget_blocks_the_run(self):
+        scheduler = self.steady_scheduler([8, 8, 8])
+        scheduler.max_batch_tokens = 2  # 3 running decodes no longer fit
+        assert scheduler.steady_decode_run() == 0
+
+    def test_advance_decodes_matches_repeated_silent_batches(self):
+        fast = self.steady_scheduler([6, 4])
+        slow = self.steady_scheduler([6, 4])
+        run = fast.steady_decode_run()
+        assert run == 2
+        fast.advance_decodes(run)
+        for _ in range(run):
+            batch = slow.next_batch()
+            assert batch.prefill == () and batch.decode == (0, 1)
+            outcome = slow.apply(batch)
+            assert outcome.first_tokens == () and outcome.finished == ()
+        assert fast.steady_decode_run() == slow.steady_decode_run() == 0
+        # The next real batch finishes request 1 on both schedulers.
+        for scheduler in (fast, slow):
+            outcome = scheduler.apply(scheduler.next_batch())
+            assert outcome.finished == (1,)
+
+    def test_advance_decodes_rejects_negative(self):
+        scheduler = self.steady_scheduler([6])
+        with pytest.raises(ValueError, match=">= 0"):
+            scheduler.advance_decodes(-1)
+
+    def test_advance_decodes_rejects_crossing_a_request_boundary(self):
+        scheduler = self.steady_scheduler([6, 4])
+        with pytest.raises(ValueError, match="past a request boundary"):
+            scheduler.advance_decodes(3)  # request 1 has only 3 decodes left
+
+    def test_advance_decodes_rejects_pending_prefill(self):
+        scheduler = ContinuousBatchingScheduler(max_batch_tokens=64, max_batch_size=4)
+        scheduler.add(request(0, prompt=150, output=8))
+        scheduler.apply(scheduler.next_batch())  # mid-prefill
+        with pytest.raises(ValueError, match="past a request boundary"):
+            scheduler.advance_decodes(1)
+
+
 class TestTokenConservation:
     def test_all_tokens_scheduled_exactly_once(self):
         requests = [

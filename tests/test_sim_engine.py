@@ -67,6 +67,69 @@ class TestControl:
         engine.run()
         assert log == [1, 5]
 
+    def test_run_until_with_empty_queue_advances_clock(self):
+        engine = EventEngine()
+        assert engine.run(until=3.0) == 3.0
+        assert engine.now == 3.0
+
+    def test_run_until_advances_past_executed_events(self):
+        # Events at 1.0 and 2.0 both execute; the clock must land on `until`,
+        # not stay at the last event time.
+        engine = EventEngine()
+        log = []
+        engine.schedule(1.0, log.append, 1)
+        engine.schedule(2.0, log.append, 2)
+        assert engine.run(until=3.5) == 3.5
+        assert log == [1, 2]
+        assert engine.now == 3.5
+
+    def test_run_until_advances_when_breaking_on_future_event(self):
+        # The head event is past `until`: nothing executes, but simulated
+        # time still passes up to `until` (min(until, next-event time)).
+        engine = EventEngine()
+        log = []
+        engine.schedule(5.0, log.append, 5)
+        assert engine.run(until=2.0) == 2.0
+        assert log == []
+        assert engine.now == 2.0
+        # A later shorter horizon keeps the clock monotonic.
+        assert engine.run(until=1.0) == 2.0
+
+    def test_run_until_skips_cancelled_head_beyond_horizon(self):
+        engine = EventEngine()
+        handle = engine.schedule(5.0, lambda: None)
+        engine.cancel(handle)
+        assert engine.run(until=2.0) == 2.0
+
+    def test_max_events_limit_does_not_advance_to_until(self):
+        engine = EventEngine()
+        log = []
+        engine.schedule(1.0, log.append, 1)
+        engine.schedule(2.0, log.append, 2)
+        engine.run(until=10.0, max_events=1)
+        assert log == [1]
+        assert engine.now == 1.0
+
+    def test_next_event_time_peeks_past_cancelled_heads(self):
+        engine = EventEngine()
+        assert engine.next_event_time() is None
+        cancelled = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.cancel(cancelled)
+        assert engine.next_event_time() == 2.0
+        engine.run()
+        assert engine.next_event_time() is None
+
+    def test_advance_to_moves_clock_forward_only(self):
+        engine = EventEngine()
+        engine.advance_to(1.5)
+        assert engine.now == 1.5
+        with pytest.raises(ValueError):
+            engine.advance_to(1.0)
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        assert engine.now == 2.0
+
     def test_max_events_limit(self):
         engine = EventEngine()
         log = []

@@ -1,0 +1,195 @@
+"""Differential suite: vectorized replay fast path vs the event-by-event reference.
+
+``replay_tasks(fast=True)`` resolves the greedy list-scheduling recurrence
+with a lowered topological sweep -- a fused scalar Kahn pass for narrow
+replays, a numpy frontier sweep for wide ones.  Both must be **bit-identical**
+to the reference path (``fast=False``): same spans, same makespan, same busy
+and work folds, same error messages on malformed inputs.  Hypothesis drives
+random DAGs (random resources, durations, dependency fan-in, transfer
+delays) and random straggler :class:`SpeedProfile` assignments through every
+branch; the vector sweep is forced by shrinking the width thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings as hsettings
+from hypothesis import strategies as st
+
+import repro.sim.replay as replay_module
+from repro.sim.replay import ReplayTask, replay_tasks
+
+DURATIONS = st.floats(min_value=0.0, max_value=1e-2, allow_nan=False, allow_infinity=False)
+DELAYS = st.floats(min_value=0.0, max_value=1e-3, allow_nan=False, allow_infinity=False)
+FACTORS = st.floats(min_value=1.0, max_value=4.0, allow_nan=False, allow_infinity=False)
+
+
+@dataclass(frozen=True)
+class KneeProfile:
+    """Start-dependent straggler: slow before the knee, nominal after.
+
+    The start-dependence matters -- it makes ``finish_time`` a genuine
+    function of the realized schedule, so any ordering divergence between the
+    two paths surfaces as a bitwise span difference.
+    """
+
+    factor: float
+    knee: float
+
+    def finish_time(self, start: float, work: float) -> float:
+        stretch = self.factor if start < self.knee else 1.0
+        return start + work * stretch
+
+
+@st.composite
+def task_lists(draw, min_tasks: int = 0, max_tasks: int = 24):
+    """Random dependency-acyclic task lists over a handful of resources.
+
+    Dependencies only point at earlier list positions, which (together with
+    the FIFO queue order) guarantees the replay can always make progress.
+    """
+    n_resources = draw(st.integers(min_value=1, max_value=6))
+    resources = [f"r{i}" for i in range(n_resources)]
+    n = draw(st.integers(min_value=min_tasks, max_value=max_tasks))
+    tasks = []
+    for i in range(n):
+        deps = ()
+        if i:
+            dep_ids = draw(
+                st.lists(st.integers(0, i - 1), min_size=0, max_size=3, unique=True)
+            )
+            deps = tuple((f"t{j}", draw(DELAYS)) for j in dep_ids)
+        tasks.append(
+            ReplayTask(
+                name=f"t{i}",
+                resource=draw(st.sampled_from(resources)),
+                duration=draw(DURATIONS),
+                deps=deps,
+            )
+        )
+    return tasks
+
+
+@st.composite
+def profiled_task_lists(draw):
+    """A task list plus straggler profiles on a random subset of resources."""
+    tasks = draw(task_lists(min_tasks=1))
+    resources = sorted({task.resource for task in tasks})
+    profiled = draw(
+        st.lists(st.sampled_from(resources), min_size=0, max_size=len(resources), unique=True)
+    )
+    profiles = {
+        resource: KneeProfile(factor=draw(FACTORS), knee=draw(DURATIONS))
+        for resource in profiled
+    }
+    return tasks, profiles
+
+
+def assert_bit_identical(tasks, profiles=None, force_vector=False):
+    reference = replay_tasks(tasks, fast=False, resource_profiles=profiles)
+    if force_vector:
+        saved = replay_module._VECTOR_MIN_RESOURCES, replay_module._VECTOR_MIN_TASKS
+        replay_module._VECTOR_MIN_RESOURCES = 1
+        replay_module._VECTOR_MIN_TASKS = 1
+        try:
+            fast = replay_tasks(tasks, fast=True, resource_profiles=profiles)
+        finally:
+            replay_module._VECTOR_MIN_RESOURCES, replay_module._VECTOR_MIN_TASKS = saved
+    else:
+        fast = replay_tasks(tasks, fast=True, resource_profiles=profiles)
+    assert fast.spans == reference.spans
+    assert fast.makespan == reference.makespan
+    assert fast.busy == reference.busy
+    assert fast.work == reference.work
+    assert fast.resources == reference.resources
+    # The aggregates are plain python floats on both paths (JSON stability).
+    assert all(type(value) is float for value in fast.busy.values())
+    assert all(
+        type(start) is float and type(end) is float
+        for start, end in fast.spans.values()
+    )
+
+
+class TestScalarSweepMatchesReference:
+    @hsettings(max_examples=200, deadline=None)
+    @given(tasks=task_lists())
+    def test_random_dags(self, tasks):
+        assert_bit_identical(tasks)
+
+    @hsettings(max_examples=150, deadline=None)
+    @given(drawn=profiled_task_lists())
+    def test_random_dags_with_speed_profiles(self, drawn):
+        tasks, profiles = drawn
+        assert_bit_identical(tasks, profiles)
+
+
+class TestVectorSweepMatchesReference:
+    @hsettings(max_examples=200, deadline=None)
+    @given(tasks=task_lists())
+    def test_random_dags(self, tasks):
+        assert_bit_identical(tasks, force_vector=True)
+
+    @hsettings(max_examples=150, deadline=None)
+    @given(drawn=profiled_task_lists())
+    def test_random_dags_with_speed_profiles(self, drawn):
+        tasks, profiles = drawn
+        assert_bit_identical(tasks, profiles, force_vector=True)
+
+    def test_wide_replay_crosses_the_vector_threshold_unforced(self):
+        """A genuinely wide replay takes the numpy sweep at default thresholds."""
+        resources = replay_module._VECTOR_MIN_RESOURCES
+        layers = max(1, replay_module._VECTOR_MIN_TASKS // resources + 1)
+        tasks = []
+        for layer in range(layers):
+            for r in range(resources):
+                deps = ()
+                if layer:
+                    deps = ((f"t{layer - 1}-{r}", 0.0), (f"t{layer - 1}-{(r + 1) % resources}", 1e-4))
+                tasks.append(
+                    ReplayTask(
+                        name=f"t{layer}-{r}",
+                        resource=f"r{r}",
+                        duration=1e-3 * ((layer + r) % 5 + 1),
+                        deps=deps,
+                    )
+                )
+        assert_bit_identical(tasks)
+
+
+class TestFastPathErrorParity:
+    def test_empty_task_list(self):
+        assert_bit_identical([])
+
+    @pytest.mark.parametrize("force_vector", [False, True])
+    def test_duplicate_names_raise_the_reference_error(self, force_vector):
+        tasks = [
+            ReplayTask(name="t0", resource="r0", duration=1.0),
+            ReplayTask(name="t0", resource="r1", duration=1.0),
+        ]
+        with pytest.raises(ValueError, match="duplicate task name 't0'"):
+            replay_tasks(tasks, fast=False)
+        with pytest.raises(ValueError, match="duplicate task name 't0'"):
+            assert_bit_identical(tasks, force_vector=force_vector)
+
+    @pytest.mark.parametrize("force_vector", [False, True])
+    def test_unknown_dependency_raises_the_reference_error(self, force_vector):
+        tasks = [ReplayTask(name="t0", resource="r0", duration=1.0, deps=(("ghost", 0.0),))]
+        with pytest.raises(ValueError, match="depends on unknown task 'ghost'"):
+            replay_tasks(tasks, fast=False)
+        with pytest.raises(ValueError, match="depends on unknown task 'ghost'"):
+            assert_bit_identical(tasks, force_vector=force_vector)
+
+    @pytest.mark.parametrize("force_vector", [False, True])
+    def test_deadlock_raises_with_the_same_stuck_tasks(self, force_vector):
+        # t0 waits on t1, but t1 sits behind t0 in the same queue: a cycle
+        # through the resource order.
+        tasks = [
+            ReplayTask(name="t0", resource="r0", duration=1.0, deps=(("t1", 0.0),)),
+            ReplayTask(name="t1", resource="r0", duration=1.0),
+        ]
+        with pytest.raises(RuntimeError, match=r"deadlocked: tasks \['t0'\]"):
+            replay_tasks(tasks, fast=False)
+        with pytest.raises(RuntimeError, match=r"deadlocked: tasks \['t0'\]"):
+            assert_bit_identical(tasks, force_vector=force_vector)

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.core.tuner import GemmShapeCache
+from repro.plans.store import PricedCellStore, plan_key
 from repro.sweep.aggregate import (
     group_summary_table,
     records_to_comparisons,
@@ -161,6 +162,125 @@ class TestSweepRunner:
         for record in summary.records:
             assert "flashoverlap" in record["method_speedups"]
             assert "vanilla-decomposition" in record["method_speedups"]
+
+
+PRICED_FIELDS = (
+    "use_overlap", "partition", "candidates_evaluated", "overlap_latency",
+    "non_overlap_latency", "theoretical_latency", "speedup", "ratio_of_theoretical",
+)
+
+
+def priced_view(records):
+    return {r["job_id"]: {k: r[k] for k in PRICED_FIELDS} for r in records}
+
+
+class TestPricedCellStore:
+    def test_plan_key_is_order_insensitive_and_stable(self):
+        a = plan_key({"m": 1, "n": 2})
+        b = plan_key({"n": 2, "m": 1})
+        assert a == b
+        assert a != plan_key({"m": 1, "n": 3})
+
+    def test_lookup_counts_hits_and_misses(self):
+        cells = PricedCellStore()
+        assert cells.lookup("k") is None
+        cells.add("k", {"speedup": 1.5})
+        assert cells.lookup("k") == {"speedup": 1.5}
+        assert cells.stats() == {"size": 1, "hits": 1, "misses": 1}
+
+    def test_round_trips_through_disk(self, tmp_path):
+        cells = PricedCellStore()
+        cells.add("k", {"overlap_latency": 0.125, "partition": [2, 2]})
+        path = tmp_path / "cells.json"
+        cells.save(path)
+        loaded = PricedCellStore.load(path)
+        assert loaded.lookup("k") == {"overlap_latency": 0.125, "partition": [2, 2]}
+
+    def test_load_missing_ok(self, tmp_path):
+        assert len(PricedCellStore.load(tmp_path / "nope.json", missing_ok=True)) == 0
+        with pytest.raises(FileNotFoundError):
+            PricedCellStore.load(tmp_path / "nope.json")
+
+
+class TestSweepPricedCells:
+    def test_second_run_replays_every_cell_bit_identically(self, tmp_path, tiny_matrix):
+        cells_path = tmp_path / "cells.json"
+        first = SweepRunner(
+            ResultStore(tmp_path / "first.jsonl"), plan_store_path=str(cells_path)
+        ).run(tiny_matrix)
+        assert first.priced_hits == 0
+        assert cells_path.exists()
+
+        second = SweepRunner(
+            ResultStore(tmp_path / "second.jsonl"), plan_store_path=str(cells_path)
+        ).run(tiny_matrix)
+        assert second.priced_hits == 4
+        assert second.tuned == 0
+        assert priced_view(second.records) == priced_view(first.records)
+        for record in second.records:
+            assert record["priced_cell_hit"] is True
+
+    def test_replayed_cells_match_a_store_free_run(self, tmp_path, tiny_matrix):
+        cells_path = tmp_path / "cells.json"
+        SweepRunner(
+            ResultStore(tmp_path / "warm.jsonl"), plan_store_path=str(cells_path)
+        ).run(tiny_matrix)
+        replayed = SweepRunner(
+            ResultStore(tmp_path / "replayed.jsonl"), plan_store_path=str(cells_path)
+        ).run(tiny_matrix)
+        plain = SweepRunner(ResultStore(tmp_path / "plain.jsonl")).run(tiny_matrix)
+        assert priced_view(replayed.records) == priced_view(plain.records)
+
+    def test_workers_share_the_snapshot_and_ride_cells_back(self, tmp_path, tiny_matrix):
+        cells_path = tmp_path / "cells.json"
+        parallel = SweepRunner(
+            ResultStore(tmp_path / "parallel.jsonl"),
+            workers=2,
+            plan_store_path=str(cells_path),
+        ).run(tiny_matrix)
+        assert parallel.priced_hits == 0
+        merged = PricedCellStore.load(cells_path)
+        assert len(merged) == 4
+
+        again = SweepRunner(
+            ResultStore(tmp_path / "again.jsonl"),
+            workers=2,
+            plan_store_path=str(cells_path),
+        ).run(tiny_matrix)
+        assert again.priced_hits == 4
+        assert priced_view(again.records) == priced_view(parallel.records)
+
+    def test_cell_without_baselines_is_not_replayed_by_a_baselines_run(
+        self, tmp_path, tiny_matrix
+    ):
+        cells_path = tmp_path / "cells.json"
+        SweepRunner(
+            ResultStore(tmp_path / "warm.jsonl"), plan_store_path=str(cells_path)
+        ).run(tiny_matrix)
+        enriched = SweepRunner(
+            ResultStore(tmp_path / "baselines.jsonl"),
+            baselines=True,
+            plan_store_path=str(cells_path),
+        ).run(tiny_matrix)
+        assert enriched.priced_hits == 0
+        for record in enriched.records:
+            assert "method_speedups" in record
+        # The enriched cells were written back and now replay with baselines.
+        replay = SweepRunner(
+            ResultStore(tmp_path / "replay.jsonl"),
+            baselines=True,
+            plan_store_path=str(cells_path),
+        ).run(tiny_matrix)
+        assert replay.priced_hits == 4
+        by_id = {r["job_id"]: r for r in enriched.records}
+        for record in replay.records:
+            assert record["method_speedups"] == by_id[record["job_id"]]["method_speedups"]
+
+    def test_ride_along_keys_never_reach_the_result_store(self, store, tiny_matrix):
+        SweepRunner(store, plan_store=PricedCellStore()).run(tiny_matrix)
+        for record in store.records():
+            assert "priced_cell" not in record
+            assert "cache_entry" not in record
 
 
 class TestAggregation:
